@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig10 -scale quick
+//	experiments -run all -scale full -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		run   = flag.String("run", "", "experiment id to run, or 'all'")
+		scale = flag.String("scale", "quick", "scale: quick, full, or bench")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart = flag.Bool("chart", false, "render ASCII charts alongside the tables")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.List() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Desc)
+		}
+		if *run == "" {
+			fmt.Println("\nRun with: experiments -run <id>|all [-scale quick|full|bench] [-csv]")
+		}
+		return
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.QuickScale()
+	case "full":
+		s = experiments.FullScale()
+	case "bench":
+		s = experiments.BenchScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|full|bench)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = ids[:0]
+		for _, e := range experiments.List() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch {
+		case *csv:
+			fmt.Printf("# %s\n%s\n", id, tbl.CSV())
+		case *chart && id == "fig3":
+			fmt.Println(viz.HeatMap(tbl))
+		case *chart && len(tbl.Header) > 2:
+			fmt.Println(tbl.String())
+			fmt.Println(viz.BarChart(tbl, len(tbl.Header)-1))
+		case *chart:
+			fmt.Println(viz.BarChart(tbl, 1))
+		default:
+			fmt.Println(tbl.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v at scale %s]\n\n", id, time.Since(start).Round(time.Millisecond), s.Name)
+	}
+}

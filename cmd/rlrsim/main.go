@@ -1,0 +1,98 @@
+// Command rlrsim runs either simulator over one workload under one
+// replacement policy and prints the outcome.
+//
+// Usage:
+//
+//	rlrsim -workload 429.mcf -policy rlr                 # timing run (IPC)
+//	rlrsim -workload 429.mcf -policy rlr -llc -n 200000  # LLC-only (hit rate)
+//	rlrsim -trace mcf.llc -policy belady                 # replay a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cachesim"
+	_ "repro/internal/core" // registers rlr / rlr-unopt / rlr-mc
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "", "workload name (see tracegen -list)")
+		traceF  = flag.String("trace", "", "LLC access trace file to replay (overrides -workload)")
+		polName = flag.String("policy", "rlr", "replacement policy (or 'belady' with -llc/-trace)")
+		llc     = flag.Bool("llc", false, "run the LLC-only simulator instead of the timing model")
+		n       = flag.Int("n", 200_000, "LLC accesses (-llc) ")
+		warmup  = flag.Uint64("warmup", 200_000, "warmup instructions (timing mode)")
+		measure = flag.Uint64("measure", 1_000_000, "measured instructions (timing mode)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *traceF != "" || *llc {
+		var accesses []trace.Access
+		if *traceF != "" {
+			f, err := os.Open(*traceF)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			r, err := trace.NewAccessReader(f)
+			if err != nil {
+				fail(err)
+			}
+			if accesses, err = r.ReadAll(); err != nil {
+				fail(err)
+			}
+		} else {
+			s := experiments.FullScale()
+			s.TraceLen = *n
+			var err error
+			if accesses, err = experiments.CaptureLLCTrace(*name, s); err != nil {
+				fail(err)
+			}
+		}
+		cfg := uarch.DefaultConfig(1).LLC
+		var pol policy.Policy
+		if *polName == "belady" || *polName == "belady-bypass" {
+			oracle := policy.NewOracle(accesses, cfg.LineSize)
+			if *polName == "belady" {
+				pol = policy.NewBelady(oracle)
+			} else {
+				pol = policy.NewBeladyBypass(oracle)
+			}
+		} else {
+			var err error
+			if pol, err = policy.New(*polName); err != nil {
+				fail(err)
+			}
+		}
+		st := cachesim.RunPolicy(cfg, pol, accesses)
+		fmt.Printf("policy=%s accesses=%d hits=%d (%.2f%%) demand-hit-rate=%.2f%% evictions=%d bypasses=%d\n",
+			pol.Name(), st.Accesses, st.Hits, st.HitRate(), st.DemandHitRate(), st.Evictions, st.Bypasses)
+		return
+	}
+
+	spec, err := workloads.ByName(*name)
+	if err != nil {
+		fail(err)
+	}
+	pol, err := policy.New(*polName)
+	if err != nil {
+		fail(err)
+	}
+	sys := uarch.NewSystem(uarch.DefaultConfig(1), pol)
+	res := sys.RunSingle(workloads.New(spec), *warmup, *measure)
+	fmt.Printf("workload=%s policy=%s IPC=%.4f demand-MPKI=%.2f LLC-accesses=%d LLC-hits=%d\n",
+		spec.Name, pol.Name(), res.IPC(), res.DemandMPKI, res.LLCStats.Accesses, res.LLCStats.Hits)
+}

@@ -1,0 +1,95 @@
+// Command rltrain runs the §III pipeline end to end for one workload:
+// capture an LLC trace, train the RL agent against the Belady reward,
+// report the learned policy's hit rate versus LRU and Belady, print the
+// Figure 3 weight heat map and the Figure 5–7 victim statistics, and
+// optionally save the trained model.
+//
+// Usage:
+//
+//	rltrain -workload 429.mcf -accesses 100000 -epochs 2 -out mcf.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/cachesim"
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/internal/rl"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "429.mcf", "workload name")
+		accesses = flag.Int("accesses", 100_000, "LLC accesses to train on")
+		epochs   = flag.Int("epochs", 1, "training passes over the trace")
+		hidden   = flag.Int("hidden", 175, "hidden-layer width")
+		out      = flag.String("out", "", "write the trained model to this file")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	s := experiments.FullScale()
+	s.TraceLen = *accesses
+	tr, err := experiments.CaptureLLCTrace(*name, s)
+	if err != nil {
+		fail(err)
+	}
+	cfg := s.LLCConfig()
+	fmt.Printf("captured %d LLC accesses for %s; training (%d epochs, %d hidden)...\n",
+		len(tr), *name, *epochs, *hidden)
+
+	opts := rl.DefaultTrainOptions()
+	opts.Epochs = *epochs
+	opts.Agent.Hidden = *hidden
+	agent := rl.Train(cfg, tr, opts)
+
+	agentStats := rl.Evaluate(cfg, agent, tr)
+	lru := cachesim.RunPolicy(cfg, policy.MustNew("lru"), tr)
+	oracle := policy.NewOracle(tr, cfg.LineSize)
+	bel := cachesim.RunPolicy(cfg, policy.NewBelady(oracle), tr)
+	fmt.Printf("\nhit rates: LRU=%.2f%%  RL=%.2f%%  Belady=%.2f%%\n\n",
+		lru.HitRate(), agentStats.HitRate(), bel.HitRate())
+
+	fmt.Println("Feature importance (mean |input weight|, Figure 3):")
+	for _, row := range analysis.HeatMap(agent) {
+		fmt.Printf("  %-28s %.5f\n", row.Feature, row.Weight)
+	}
+
+	st := analysis.CollectVictimStats(cfg, agent, tr)
+	fmt.Printf("\nVictim statistics over %d evictions:\n", st.Victims)
+	fmt.Printf("  avg victim age by type (Fig 5): LD=%.1f RFO=%.1f PF=%.1f WB=%.1f\n",
+		st.AvgAgeByType[trace.Load], st.AvgAgeByType[trace.RFO],
+		st.AvgAgeByType[trace.Prefetch], st.AvgAgeByType[trace.Writeback])
+	fmt.Printf("  hits at eviction (Fig 6): 0=%.1f%% 1=%.1f%% >1=%.1f%%\n",
+		100*st.HitsZero, 100*st.HitsOne, 100*st.HitsMore)
+	fmt.Printf("  victim recency histogram (Fig 7): %v\n", fmtPct(st.RecencyPct))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := agent.SaveModel(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmodel written to %s\n", *out)
+	}
+}
+
+func fmtPct(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, v := range xs {
+		out[i] = fmt.Sprintf("%.0f", v)
+	}
+	return out
+}

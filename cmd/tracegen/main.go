@@ -1,0 +1,98 @@
+// Command tracegen materializes traces from the synthetic workload suite:
+// either instruction traces (for the timing simulator) or LLC access traces
+// (the §III-A ⟨PC, type, address⟩ records, captured from a timing run with
+// an LRU LLC).
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -workload 429.mcf -n 1000000 -o mcf.instr
+//	tracegen -workload 429.mcf -llc -n 200000 -o mcf.llc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list workloads")
+		name = flag.String("workload", "", "workload name")
+		n    = flag.Int("n", 1_000_000, "records to generate (instructions, or LLC accesses with -llc)")
+		out  = flag.String("o", "", "output file (default stdout)")
+		llc  = flag.Bool("llc", false, "capture an LLC access trace instead of an instruction trace")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC CPU 2006-like workloads:")
+		for _, w := range workloads.SPECNames() {
+			fmt.Println("  " + w)
+		}
+		fmt.Println("CloudSuite-like workloads:")
+		for _, w := range workloads.CloudNames() {
+			fmt.Println("  " + w)
+		}
+		return
+	}
+	spec, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var w *os.File = os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer w.Close()
+	}
+
+	if *llc {
+		sys := uarch.NewSystem(uarch.DefaultConfig(1), policy.MustNew("lru"))
+		aw := trace.NewAccessWriter(w)
+		captured := 0
+		sys.Hierarchy().SetLLCObserver(func(a trace.Access, hit bool) {
+			if captured < *n {
+				if err := aw.Write(a); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				captured++
+			}
+		})
+		gen := workloads.New(spec)
+		for captured < *n {
+			sys.RunSingle(gen, 0, 100_000)
+		}
+		if err := aw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d LLC accesses for %s\n", captured, spec.Name)
+		return
+	}
+
+	iw := trace.NewInstrWriter(w)
+	gen := workloads.New(spec)
+	for i := 0; i < *n; i++ {
+		if err := iw.Write(gen.Next()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := iw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d instructions for %s\n", *n, spec.Name)
+}

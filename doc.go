@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Designing a
+// Cost-Effective Cache Replacement Policy using Machine Learning"
+// (Sethumurugan, Yin, Sartori — HPCA 2021): the RLR replacement policy,
+// the RL framework it was derived from, every baseline policy the paper
+// compares against, both of the paper's simulators, and a benchmark
+// harness regenerating every table and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The implementation lives under internal/; run the examples/ programs or
+// the cmd/ tools to drive it.
+package repro

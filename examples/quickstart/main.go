@@ -1,0 +1,38 @@
+// Quickstart: build a 2MB 16-way LLC governed by RLR, replay a synthetic
+// mcf-like workload through the full Table III hierarchy, and print the
+// outcome next to LRU.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	_ "repro/internal/core" // registers the rlr policies
+	"repro/internal/policy"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func main() {
+	spec, err := workloads.ByName("429.mcf")
+	if err != nil {
+		panic(err)
+	}
+
+	const warmup, measure = 100_000, 500_000
+	fmt.Printf("workload %s: %d instructions after %d warmup\n\n", spec.Name, measure, warmup)
+
+	for _, name := range []string{"lru", "rlr"} {
+		pol := policy.MustNew(name)
+		sys := uarch.NewSystem(uarch.DefaultConfig(1), pol)
+		res := sys.RunSingle(workloads.New(spec), warmup, measure)
+		st := res.LLCStats
+		fmt.Printf("%-4s  IPC=%.4f  demand-MPKI=%.2f  LLC hits=%d/%d (%.1f%%)\n",
+			name, res.IPC(), res.DemandMPKI, st.Hits, st.Accesses,
+			100*float64(st.Hits)/float64(st.Accesses))
+	}
+	fmt.Println("\nRLR protects lines within their predicted reuse distance and evicts")
+	fmt.Println("non-reused prefetches early; on pointer-chasing workloads that trims")
+	fmt.Println("demand misses relative to LRU without any PC plumbing.")
+}

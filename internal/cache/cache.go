@@ -1,0 +1,320 @@
+// Package cache implements the set-associative cache container shared by
+// the LLC-only simulator and the timing simulator's cache levels.
+//
+// Beyond tags and validity, every line carries the complete per-line feature
+// set of the paper's Table II (ages, preuse distance, per-type access
+// counters, hits since insertion, recency, dirty bit, last access type), and
+// every set carries the set-level counters (total accesses, accesses since
+// the last miss). These are exactly the inputs the RL agent consumes and the
+// statistics the insight analyses of §III-B aggregate. Replacement policies
+// that would be implemented with their own dedicated hardware state (e.g.
+// RLR's quantized 2-bit age counters) deliberately do NOT read this
+// metadata; they maintain their own faithful-width state and use this
+// container only for tags and victim mechanics.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/trace"
+)
+
+// Config describes a single cache's geometry.
+type Config struct {
+	Sets     int    // number of sets; must be a power of two
+	Ways     int    // associativity
+	LineSize uint64 // line size in bytes; must be a power of two
+}
+
+// Validate returns an error if the configuration is not usable.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || !mathx.IsPow2(uint64(c.Sets)) {
+		return fmt.Errorf("cache: Sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: Ways must be positive, got %d", c.Ways)
+	}
+	if c.LineSize == 0 || !mathx.IsPow2(c.LineSize) {
+		return fmt.Errorf("cache: LineSize must be a positive power of two, got %d", c.LineSize)
+	}
+	return nil
+}
+
+// SizeBytes returns the data capacity of the configured cache.
+func (c Config) SizeBytes() uint64 {
+	return uint64(c.Sets) * uint64(c.Ways) * c.LineSize
+}
+
+// Line is one cache line plus its Table II metadata. All "age"-like counters
+// are measured in set accesses, matching the paper's definitions.
+type Line struct {
+	Valid bool
+	Dirty bool
+	Tag   uint64 // block address >> log2(sets) — unique within a set
+	Block uint64 // full block address (byte address >> log2(lineSize))
+
+	// Table II per-line features.
+	Preuse          uint32           // set accesses between the last two accesses of this line
+	AgeSinceInsert  uint32           // set accesses since the line was inserted
+	AgeSinceAccess  uint32           // set accesses since the line was last accessed
+	LastAccessType  trace.AccessType // type of the line's most recent access
+	LoadCount       uint32           // number of LD accesses to this line since insertion
+	RFOCount        uint32           // number of RFO accesses since insertion
+	PrefetchCount   uint32           // number of PF accesses since insertion
+	WritebackCount  uint32           // number of WB accesses since insertion
+	HitsSinceInsert uint32           // hits since insertion
+	Recency         uint8            // 0 = least recently used … Ways-1 = most recently used
+	Core            uint8            // core that inserted / last accessed the line
+	InsertPC        uint64           // PC of the inserting access (for PC-based policies)
+	LastPC          uint64           // PC of the most recent access
+}
+
+// Set is one cache set with its set-level counters.
+type Set struct {
+	Lines             []Line
+	Accesses          uint64 // total accesses to this set
+	AccessesSinceMiss uint64 // accesses since the last miss to this set
+	Misses            uint64 // total misses to this set
+}
+
+// Cache is a single set-associative cache. It implements only content and
+// metadata bookkeeping; hit/miss policy, timing, and replacement decisions
+// belong to its callers.
+type Cache struct {
+	cfg        Config
+	sets       []Set
+	setShift   uint // log2(lineSize)
+	setMask    uint64
+	lineEvents EvictFunc
+}
+
+// EvictFunc observes evictions: the set index, way, and a copy of the line
+// as it was at eviction time. Analyses use this to build the Figure 5/6/7
+// victim statistics.
+type EvictFunc func(setIdx uint32, way int, victim Line)
+
+// New constructs a cache. It panics on an invalid configuration, since a
+// bad geometry is a programming error, not a runtime condition.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([]Set, cfg.Sets),
+		setShift: uint(mathx.ILog2(cfg.LineSize)),
+		setMask:  uint64(cfg.Sets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i].Lines = make([]Line, cfg.Ways)
+		for w := range c.sets[i].Lines {
+			c.sets[i].Lines[w].Recency = uint8(w) // arbitrary initial total order
+		}
+	}
+	return c
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetEvictObserver installs fn to be called on every eviction of a valid
+// line. Passing nil removes the observer.
+func (c *Cache) SetEvictObserver(fn EvictFunc) { c.lineEvents = fn }
+
+// BlockAddr returns the block address (byte address / line size).
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.setShift }
+
+// SetIndex returns the set index of a byte address.
+func (c *Cache) SetIndex(addr uint64) uint32 {
+	return uint32((addr >> c.setShift) & c.setMask)
+}
+
+// tagOf returns the within-set tag of a byte address.
+func (c *Cache) tagOf(addr uint64) uint64 {
+	return (addr >> c.setShift) >> uint(mathx.ILog2(uint64(c.cfg.Sets)))
+}
+
+// Set returns the set at index idx. The returned pointer aliases internal
+// state; callers must not resize the Lines slice.
+func (c *Cache) Set(idx uint32) *Set { return &c.sets[idx] }
+
+// Probe reports whether addr is present, returning its set and way. Probe
+// performs no metadata updates; use Access for the full protocol.
+func (c *Cache) Probe(addr uint64) (setIdx uint32, way int, hit bool) {
+	setIdx = c.SetIndex(addr)
+	tag := c.tagOf(addr)
+	for w := range c.sets[setIdx].Lines {
+		ln := &c.sets[setIdx].Lines[w]
+		if ln.Valid && ln.Tag == tag {
+			return setIdx, w, true
+		}
+	}
+	return setIdx, -1, false
+}
+
+const counterMax = ^uint32(0)
+
+func satInc(v *uint32) {
+	if *v != counterMax {
+		*v++
+	}
+}
+
+// touchSet applies the per-access set bookkeeping: every resident line ages
+// by one set access, and the set counters advance.
+func (c *Cache) touchSet(s *Set) {
+	s.Accesses++
+	for w := range s.Lines {
+		if s.Lines[w].Valid {
+			satInc(&s.Lines[w].AgeSinceInsert)
+			satInc(&s.Lines[w].AgeSinceAccess)
+		}
+	}
+}
+
+// promote makes way the most recently used line in the set, shifting down
+// the recency of every line that was above it.
+func (s *Set) promote(way int, ways int) {
+	old := s.Lines[way].Recency
+	for w := range s.Lines {
+		if s.Lines[w].Recency > old {
+			s.Lines[w].Recency--
+		}
+	}
+	s.Lines[way].Recency = uint8(ways - 1)
+}
+
+// RecordHit applies the full metadata protocol for a hit of access a at
+// (setIdx, way): ages advance for the whole set, the hit line's preuse is
+// captured from its age counter, its counters and recency update. It
+// returns the preuse distance observed on this hit (the value the RLR RD
+// predictor accumulates on demand hits).
+func (c *Cache) RecordHit(setIdx uint32, way int, a trace.Access) (preuse uint32) {
+	s := &c.sets[setIdx]
+	c.touchSet(s)
+	s.AccessesSinceMiss++
+	ln := &s.Lines[way]
+	// AgeSinceAccess was just incremented by touchSet; the paper counts the
+	// accesses *between* the two accesses, which excludes this one.
+	preuse = ln.AgeSinceAccess - 1
+	ln.Preuse = preuse
+	ln.AgeSinceAccess = 0
+	satInc(&ln.HitsSinceInsert)
+	ln.LastAccessType = a.Type
+	ln.LastPC = a.PC
+	ln.Core = a.Core
+	switch a.Type {
+	case trace.Load:
+		satInc(&ln.LoadCount)
+	case trace.RFO:
+		satInc(&ln.RFOCount)
+	case trace.Prefetch:
+		satInc(&ln.PrefetchCount)
+	case trace.Writeback:
+		satInc(&ln.WritebackCount)
+	}
+	if a.Type == trace.RFO || a.Type == trace.Writeback {
+		ln.Dirty = true
+	}
+	s.promote(way, c.cfg.Ways)
+	return preuse
+}
+
+// RecordMissTouch applies the set-level bookkeeping for a miss (ages
+// advance, accesses-since-miss resets) without filling anything. Call it
+// exactly once per miss, before victim selection, whether or not the miss
+// is ultimately bypassed.
+func (c *Cache) RecordMissTouch(setIdx uint32) {
+	s := &c.sets[setIdx]
+	c.touchSet(s)
+	s.AccessesSinceMiss = 0
+	s.Misses++
+}
+
+// InvalidWay returns the lowest-index invalid way of the set, or -1 when
+// the set is full.
+func (c *Cache) InvalidWay(setIdx uint32) int {
+	for w := range c.sets[setIdx].Lines {
+		if !c.sets[setIdx].Lines[w].Valid {
+			return w
+		}
+	}
+	return -1
+}
+
+// Fill installs the block of access a into (setIdx, way), evicting whatever
+// was there. It returns a copy of the victim line (Valid == false if the
+// way was empty) so callers can propagate dirty writebacks.
+func (c *Cache) Fill(setIdx uint32, way int, a trace.Access) (victim Line) {
+	s := &c.sets[setIdx]
+	victim = s.Lines[way]
+	if victim.Valid && c.lineEvents != nil {
+		c.lineEvents(setIdx, way, victim)
+	}
+	blk := c.BlockAddr(a.Addr)
+	ln := Line{
+		Valid:          true,
+		Tag:            c.tagOf(a.Addr),
+		Block:          blk,
+		Dirty:          a.Type == trace.RFO || a.Type == trace.Writeback,
+		LastAccessType: a.Type,
+		Core:           a.Core,
+		InsertPC:       a.PC,
+		LastPC:         a.PC,
+		Recency:        s.Lines[way].Recency, // placeholder; promote fixes it
+	}
+	switch a.Type {
+	case trace.Load:
+		ln.LoadCount = 1
+	case trace.RFO:
+		ln.RFOCount = 1
+	case trace.Prefetch:
+		ln.PrefetchCount = 1
+	case trace.Writeback:
+		ln.WritebackCount = 1
+	}
+	s.Lines[way] = ln
+	s.promote(way, c.cfg.Ways)
+	return victim
+}
+
+// Invalidate removes the block containing addr if present, returning the
+// removed line (Valid == false when the block was not resident). It is used
+// by the timing hierarchy for back-invalidations.
+func (c *Cache) Invalidate(addr uint64) Line {
+	setIdx, way, hit := c.Probe(addr)
+	if !hit {
+		return Line{}
+	}
+	ln := c.sets[setIdx].Lines[way]
+	c.sets[setIdx].Lines[way].Valid = false
+	return ln
+}
+
+// Stats aggregates occupancy over the whole cache (used by tests and the
+// example binaries).
+type Stats struct {
+	ValidLines int
+	DirtyLines int
+	Accesses   uint64
+	Misses     uint64
+}
+
+// Stats scans the cache and returns aggregate occupancy numbers.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for i := range c.sets {
+		st.Accesses += c.sets[i].Accesses
+		st.Misses += c.sets[i].Misses
+		for w := range c.sets[i].Lines {
+			if c.sets[i].Lines[w].Valid {
+				st.ValidLines++
+				if c.sets[i].Lines[w].Dirty {
+					st.DirtyLines++
+				}
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,217 @@
+// Package cachesim implements the LLC-only trace-driven simulator of
+// §III-A: it replays an LLC access trace against a single set-associative
+// cache whose replacement decisions come from any policy.Policy (including
+// the RL agent and the Belady oracle), maintaining the full Table II
+// feature state and producing the hit-rate and eviction statistics that the
+// paper's Figures 1 and 4–7 are built from.
+//
+// This is the counterpart of the paper's Python simulator; the timing
+// simulator (internal/uarch) is the counterpart of ChampSim.
+package cachesim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Stats aggregates the outcome of a simulation.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	Bypasses uint64
+
+	DemandAccesses uint64 // loads + RFOs
+	DemandHits     uint64
+	DemandMisses   uint64
+
+	AccessesByType [trace.NumAccessTypes]uint64
+	HitsByType     [trace.NumAccessTypes]uint64
+
+	Evictions      uint64
+	DirtyEvictions uint64
+	CompulsoryMiss uint64
+}
+
+// HitRate returns hits/accesses as a percentage (the Figure 1 metric).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits) / float64(s.Accesses)
+}
+
+// DemandHitRate returns the demand (LD+RFO) hit percentage.
+func (s Stats) DemandHitRate() float64 {
+	if s.DemandAccesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.DemandHits) / float64(s.DemandAccesses)
+}
+
+// StepResult describes what one access did.
+type StepResult struct {
+	SetIdx       uint32
+	Way          int // hit way, filled way, or -1 when bypassed
+	Hit          bool
+	Bypassed     bool
+	Victim       cache.Line // valid only when an eviction occurred
+	Evicted      bool
+	AccessPreuse uint64 // set accesses since this block's previous access to the set (NeverAccessed if first)
+	Seq          uint64 // sequence number assigned to this access
+}
+
+// NeverAccessed marks an access whose block has not been touched before
+// (no preuse distance exists).
+const NeverAccessed = ^uint64(0)
+
+// Simulator replays accesses against one cache under one policy.
+type Simulator struct {
+	c     *cache.Cache
+	p     policy.Policy
+	cfg   policy.Config
+	seq   uint64
+	stats Stats
+	// lastTouch[set][block] = set-access count when the block was last
+	// referenced; implements the "access preuse" feature of Table II.
+	lastTouch []map[uint64]uint64
+}
+
+// New builds a simulator over a fresh cache of geometry cfg governed by p.
+// It calls p.Init.
+func New(cfg cache.Config, numCores int, p policy.Policy) *Simulator {
+	if numCores < 1 {
+		numCores = 1
+	}
+	s := &Simulator{
+		c:   cache.New(cfg),
+		p:   p,
+		cfg: policy.Config{Config: cfg, NumCores: numCores},
+	}
+	s.lastTouch = make([]map[uint64]uint64, cfg.Sets)
+	for i := range s.lastTouch {
+		s.lastTouch[i] = make(map[uint64]uint64)
+	}
+	p.Init(s.cfg)
+	return s
+}
+
+// Cache exposes the underlying cache (for analyses and eviction observers).
+func (s *Simulator) Cache() *cache.Cache { return s.c }
+
+// Policy returns the governing policy.
+func (s *Simulator) Policy() policy.Policy { return s.p }
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// Seq returns the number of accesses processed so far.
+func (s *Simulator) Seq() uint64 { return s.seq }
+
+// AccessPreuse returns the preuse distance the next access to addr would
+// observe (set accesses since the block's last reference in its set), or
+// NeverAccessed. This is the Table II "access preuse" feature.
+func (s *Simulator) AccessPreuse(addr uint64) uint64 {
+	setIdx := s.c.SetIndex(addr)
+	block := s.c.BlockAddr(addr)
+	last, ok := s.lastTouch[setIdx][block]
+	if !ok {
+		return NeverAccessed
+	}
+	return s.c.Set(setIdx).Accesses - last
+}
+
+// Step processes one access end to end: probe, metadata update, policy
+// notification, and (on a miss) victim selection and fill.
+func (s *Simulator) Step(a trace.Access) StepResult {
+	ctx := policy.AccessCtx{Access: a, Seq: s.seq}
+	res := StepResult{Seq: s.seq, AccessPreuse: s.AccessPreuse(a.Addr)}
+	s.seq++
+
+	setIdx, way, hit := s.c.Probe(a.Addr)
+	ctx.SetIdx = setIdx
+	res.SetIdx = setIdx
+	set := s.c.Set(setIdx)
+
+	s.stats.Accesses++
+	s.stats.AccessesByType[a.Type]++
+	if a.Type.IsDemand() {
+		s.stats.DemandAccesses++
+	}
+
+	if hit {
+		s.stats.Hits++
+		s.stats.HitsByType[a.Type]++
+		if a.Type.IsDemand() {
+			s.stats.DemandHits++
+		}
+		s.c.RecordHit(setIdx, way, a)
+		s.p.Update(ctx, set, way, true)
+		res.Way, res.Hit = way, true
+		s.touch(setIdx, a.Addr)
+		return res
+	}
+
+	s.stats.Misses++
+	if a.Type.IsDemand() {
+		s.stats.DemandMisses++
+	}
+	s.c.RecordMissTouch(setIdx)
+
+	way = s.c.InvalidWay(setIdx)
+	if way < 0 {
+		way = s.p.Victim(ctx, set)
+	} else {
+		s.stats.CompulsoryMiss++
+	}
+	if way == policy.Bypass {
+		s.stats.Bypasses++
+		res.Way, res.Bypassed = -1, true
+		s.touch(setIdx, a.Addr)
+		return res
+	}
+	victim := s.c.Fill(setIdx, way, a)
+	if victim.Valid {
+		s.stats.Evictions++
+		if victim.Dirty {
+			s.stats.DirtyEvictions++
+		}
+		res.Victim, res.Evicted = victim, true
+	}
+	s.p.Update(ctx, set, way, false)
+	res.Way = way
+	s.touch(setIdx, a.Addr)
+	return res
+}
+
+// touch records the block's reference for access-preuse tracking and bounds
+// the per-set history map.
+func (s *Simulator) touch(setIdx uint32, addr uint64) {
+	m := s.lastTouch[setIdx]
+	m[s.c.BlockAddr(addr)] = s.c.Set(setIdx).Accesses
+	if len(m) > 4096 {
+		// Drop stale entries; anything older than 4096 set accesses has a
+		// preuse distance far beyond every feature normalization bound.
+		cur := s.c.Set(setIdx).Accesses
+		for b, t := range m {
+			if cur-t > 2048 {
+				delete(m, b)
+			}
+		}
+	}
+}
+
+// Run replays every access and returns the final statistics.
+func (s *Simulator) Run(accesses []trace.Access) Stats {
+	for _, a := range accesses {
+		s.Step(a)
+	}
+	return s.stats
+}
+
+// RunPolicy is a convenience: build a fresh simulator for cfg/p, replay
+// accesses, and return the statistics.
+func RunPolicy(cfg cache.Config, p policy.Policy, accesses []trace.Access) Stats {
+	return New(cfg, 1, p).Run(accesses)
+}

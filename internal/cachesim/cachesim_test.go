@@ -1,0 +1,139 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func cfg() cache.Config { return cache.Config{Sets: 4, Ways: 2, LineSize: 64} }
+
+func ld(block uint64) trace.Access {
+	return trace.Access{PC: 0x400, Addr: block * 64, Type: trace.Load}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sim := New(cfg(), 1, policy.MustNew("lru"))
+	// Blocks 0 and 4 share set 0 (4 sets); block 8 also set 0.
+	sim.Step(ld(0))                                            // miss (compulsory)
+	sim.Step(ld(0))                                            // hit
+	sim.Step(trace.Access{Addr: 4 * 64, Type: trace.RFO})      // miss
+	sim.Step(trace.Access{Addr: 8 * 64, Type: trace.Prefetch}) // miss, evicts LRU
+	st := sim.Stats()
+	if st.Accesses != 4 || st.Hits != 1 || st.Misses != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.DemandAccesses != 3 || st.DemandHits != 1 || st.DemandMisses != 2 {
+		t.Errorf("demand stats = %+v", st)
+	}
+	if st.AccessesByType[trace.Load] != 2 || st.AccessesByType[trace.RFO] != 1 ||
+		st.AccessesByType[trace.Prefetch] != 1 {
+		t.Errorf("by-type stats = %+v", st.AccessesByType)
+	}
+	// Blocks 0, 4, 8 all map to set 0 of a 2-way cache: only the first two
+	// fills land in invalid ways; the third consults the policy, so it is
+	// not counted as compulsory by this accounting.
+	if st.CompulsoryMiss != 2 {
+		t.Errorf("compulsory = %d, want 2", st.CompulsoryMiss)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.HitRate() != 25 {
+		t.Errorf("hit rate = %v, want 25", st.HitRate())
+	}
+}
+
+func TestEvictionVictimReporting(t *testing.T) {
+	sim := New(cache.Config{Sets: 1, Ways: 1, LineSize: 64}, 1, policy.MustNew("lru"))
+	sim.Step(trace.Access{Addr: 0, Type: trace.RFO}) // dirty fill
+	res := sim.Step(ld(1))
+	if !res.Evicted || !res.Victim.Dirty || res.Victim.Block != 0 {
+		t.Errorf("victim = %+v, want dirty block 0", res.Victim)
+	}
+	if sim.Stats().DirtyEvictions != 1 {
+		t.Errorf("dirty evictions = %d, want 1", sim.Stats().DirtyEvictions)
+	}
+}
+
+func TestAccessPreuseTracking(t *testing.T) {
+	sim := New(cfg(), 1, policy.MustNew("lru"))
+	if got := sim.AccessPreuse(0); got != NeverAccessed {
+		t.Errorf("preuse of untouched block = %d, want NeverAccessed", got)
+	}
+	res := sim.Step(ld(0))
+	if res.AccessPreuse != NeverAccessed {
+		t.Errorf("first access preuse = %d, want NeverAccessed", res.AccessPreuse)
+	}
+	sim.Step(ld(4)) // same set
+	sim.Step(ld(4))
+	res = sim.Step(ld(0))
+	// Set accesses since block 0's last access: 2 (the two block-4 ones).
+	if res.AccessPreuse != 2 {
+		t.Errorf("access preuse = %d, want 2", res.AccessPreuse)
+	}
+}
+
+func TestBypassingPolicy(t *testing.T) {
+	pd := policy.NewPDP()
+	pd.AllowBypass = true
+	sim := New(cache.Config{Sets: 1, Ways: 2, LineSize: 64}, 1, pd)
+	// Fill both ways, then every further miss within PD is bypassed.
+	sim.Step(ld(0))
+	sim.Step(ld(1))
+	r := sim.Step(ld(2))
+	if !r.Bypassed {
+		t.Fatalf("expected bypass while all lines protected, got %+v", r)
+	}
+	if sim.Stats().Bypasses != 1 {
+		t.Errorf("bypasses = %d, want 1", sim.Stats().Bypasses)
+	}
+	// Bypassed block must not be resident.
+	if _, _, hit := sim.Cache().Probe(2 * 64); hit {
+		t.Error("bypassed block is resident")
+	}
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	sim := New(cfg(), 1, policy.MustNew("lru"))
+	for i := uint64(0); i < 10; i++ {
+		res := sim.Step(ld(i))
+		if res.Seq != i {
+			t.Fatalf("seq = %d, want %d", res.Seq, i)
+		}
+	}
+	if sim.Seq() != 10 {
+		t.Errorf("Seq() = %d, want 10", sim.Seq())
+	}
+}
+
+func TestRunMatchesStepping(t *testing.T) {
+	accesses := []trace.Access{ld(0), ld(1), ld(0), ld(9), ld(1)}
+	a := New(cfg(), 1, policy.MustNew("lru")).Run(accesses)
+	sim := New(cfg(), 1, policy.MustNew("lru"))
+	for _, acc := range accesses {
+		sim.Step(acc)
+	}
+	if a != sim.Stats() {
+		t.Errorf("Run stats %+v != Step stats %+v", a, sim.Stats())
+	}
+}
+
+func TestLastTouchBounded(t *testing.T) {
+	sim := New(cache.Config{Sets: 1, Ways: 2, LineSize: 64}, 1, policy.MustNew("lru"))
+	for i := uint64(0); i < 100000; i++ {
+		sim.Step(ld(i))
+	}
+	if n := len(sim.lastTouch[0]); n > 5000 {
+		t.Errorf("lastTouch map grew unbounded: %d entries", n)
+	}
+}
+
+func TestHitRateZeroAccesses(t *testing.T) {
+	var st Stats
+	if st.HitRate() != 0 || st.DemandHitRate() != 0 {
+		t.Error("zero-access hit rates should be 0")
+	}
+}

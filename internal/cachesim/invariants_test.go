@@ -1,0 +1,124 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// TestAccountingInvariantsProperty drives random traces through random
+// baseline policies and checks the bookkeeping identities that every
+// simulation report relies on.
+func TestAccountingInvariantsProperty(t *testing.T) {
+	policies := []string{"lru", "mru", "random", "srrip", "brrip", "drrip", "ship", "pdp", "eva"}
+	f := func(seed uint64, polIdx uint8) bool {
+		rng := xrand.New(seed)
+		n := 1000 + rng.Intn(2000)
+		accesses := make([]trace.Access, n)
+		for i := range accesses {
+			accesses[i] = trace.Access{
+				PC:   uint64(rng.Intn(32)) * 4,
+				Addr: rng.Uint64n(1<<14) * 64,
+				Type: trace.AccessType(rng.Intn(int(trace.NumAccessTypes))),
+			}
+		}
+		cfg := cache.Config{Sets: 8, Ways: 4, LineSize: 64}
+		name := policies[int(polIdx)%len(policies)]
+		sim := New(cfg, 1, policy.MustNew(name))
+		st := sim.Run(accesses)
+
+		if st.Accesses != uint64(n) {
+			return false
+		}
+		if st.Hits+st.Misses != st.Accesses {
+			return false
+		}
+		if st.DemandHits+st.DemandMisses != st.DemandAccesses {
+			return false
+		}
+		var byType uint64
+		for _, c := range st.AccessesByType {
+			byType += c
+		}
+		if byType != st.Accesses {
+			return false
+		}
+		for ty := range st.HitsByType {
+			if st.HitsByType[ty] > st.AccessesByType[ty] {
+				return false
+			}
+		}
+		if st.Bypasses > st.Misses || st.Evictions > st.Misses {
+			return false
+		}
+		if st.DirtyEvictions > st.Evictions {
+			return false
+		}
+		// Occupancy can never exceed capacity, and every valid line must
+		// have a within-range recency.
+		cs := sim.Cache().Stats()
+		return cs.ValidLines <= cfg.Sets*cfg.Ways
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPolicyEquivalenceOnHitOnlyTrace: once the working set fits, every
+// demand-fill policy must report identical hit counts (replacement is
+// never exercised).
+func TestPolicyEquivalenceOnHitOnlyTrace(t *testing.T) {
+	cfg := cache.Config{Sets: 4, Ways: 4, LineSize: 64}
+	var accesses []trace.Access
+	for rep := 0; rep < 50; rep++ {
+		for b := uint64(0); b < 16; b++ { // exactly capacity
+			accesses = append(accesses, trace.Access{PC: 1, Addr: b * 64, Type: trace.Load})
+		}
+	}
+	var ref *Stats
+	for _, name := range []string{"lru", "mru", "random", "srrip", "drrip", "ship", "hawkeye", "eva"} {
+		st := RunPolicy(cfg, policy.MustNew(name), accesses)
+		if ref == nil {
+			ref = &st
+			continue
+		}
+		if st.Hits != ref.Hits {
+			t.Errorf("%s hits = %d, want %d (working set fits: no policy influence possible)", name, st.Hits, ref.Hits)
+		}
+	}
+	if ref.Misses != 16 {
+		t.Errorf("misses = %d, want 16 compulsory", ref.Misses)
+	}
+}
+
+// TestVictimAlwaysInRangeProperty: whatever the policy returns must be
+// either Bypass or a valid way; the simulator relies on it, so drive the
+// exotic policies hard.
+func TestVictimAlwaysInRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		cfg := cache.Config{Sets: 2, Ways: 2, LineSize: 64}
+		for _, name := range []string{"hawkeye", "kpc-r", "pdp", "eva", "ship++"} {
+			sim := New(cfg, 1, policy.MustNew(name))
+			for i := 0; i < 500; i++ {
+				a := trace.Access{
+					PC:   rng.Uint64n(64),
+					Addr: rng.Uint64n(64) * 64,
+					Type: trace.AccessType(rng.Intn(4)),
+				}
+				res := sim.Step(a)
+				if !res.Bypassed && !res.Hit && (res.Way < 0 || res.Way >= cfg.Ways) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

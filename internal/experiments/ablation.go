@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("ablation", "§V-B ablation: hit and type priorities disabled", runAblation)
+	register("agesweep", "§IV-C ablation: age-counter width and RD multiplier sweep", runAgeSweep)
+	register("weightsweep", "Design ablation: age-priority weight sweep", runWeightSweep)
+}
+
+// ablationBenches is the memory-intensive subset the priority ablations
+// run on (IPC effects are invisible on cache-resident benchmarks).
+var ablationBenches = []string{
+	"429.mcf", "470.lbm", "459.GemsFDTD", "471.omnetpp", "483.xalancbmk", "450.soplex",
+}
+
+func runAblation(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "§V-B ablation: IPC speedup over LRU (%) with priorities disabled",
+		Header: []string{"benchmark", "RLR", "RLR no-hit", "RLR no-type"},
+	}
+	noHit := core.Optimized()
+	noHit.UseHitPriority = false
+	noType := core.Optimized()
+	noType.UseTypePriority = false
+	variants := []core.Options{core.Optimized(), noHit, noType}
+
+	ratios := make([][]float64, len(variants))
+	for _, bench := range ablationBenches {
+		base, err := runIPC(bench, policy.MustNew("lru"), s)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{bench}
+		for vi, opt := range variants {
+			// Ablation variants share the policy name "rlr", so they must
+			// not go through runIPC's name-keyed memoization.
+			res, err := runIPCUncached(bench, core.New(opt), s)
+			if err != nil {
+				return nil, err
+			}
+			ratios[vi] = append(ratios[vi], res.IPC()/base.IPC())
+			row = append(row, stats.Pct(stats.SpeedupPct(res.IPC(), base.IPC())))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	overall := []string{"Overall"}
+	for vi := range variants {
+		overall = append(overall, stats.Pct(stats.GeoMeanSpeedupPct(ratios[vi])))
+	}
+	tbl.Rows = append(tbl.Rows, overall)
+	return tbl, nil
+}
+
+// runAgeSweep evaluates the §IV-C design space on captured LLC traces
+// (hit rate is the metric — cheap and directly comparable): age-counter
+// widths 2–8 bits on the un-epoched design, and RD multipliers 1/2/4.
+func runAgeSweep(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "§IV-C sweep: LLC hit rate (%) by age-counter bits and RD multiplier",
+		Header: []string{"benchmark", "2b", "3b", "4b", "5b", "6b", "8b", "RDx1", "RDx2", "RDx4"},
+	}
+	cfg := s.LLCConfig()
+	for _, bench := range ablationBenches {
+		tr, err := CaptureLLCTrace(bench, s)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{bench}
+		for _, bits := range []int{2, 3, 4, 5, 6, 8} {
+			o := core.Unoptimized()
+			o.AgeBits = bits
+			st := cachesim.RunPolicy(cfg, core.New(o), tr)
+			row = append(row, stats.F2(st.HitRate()))
+		}
+		for _, mult := range []int{1, 2, 4} {
+			o := core.Unoptimized()
+			o.RDMultiplier = mult
+			st := cachesim.RunPolicy(cfg, core.New(o), tr)
+			row = append(row, stats.F2(st.HitRate()))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+func runWeightSweep(s Scale) (*stats.Table, error) {
+	weights := []int{2, 4, 8, 16}
+	tbl := &stats.Table{Title: "Design ablation: LLC hit rate (%) by age-priority weight",
+		Header: []string{"benchmark"}}
+	for _, w := range weights {
+		tbl.Header = append(tbl.Header, fmt.Sprintf("w=%d", w))
+	}
+	cfg := s.LLCConfig()
+	for _, bench := range ablationBenches {
+		tr, err := CaptureLLCTrace(bench, s)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{bench}
+		for _, w := range weights {
+			o := core.Optimized()
+			o.AgeWeight = w
+			st := cachesim.RunPolicy(cfg, core.New(o), tr)
+			row = append(row, stats.F2(st.HitRate()))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

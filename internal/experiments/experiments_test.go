@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// tinyScale keeps every experiment test fast on one core.
+func tinyScale() Scale {
+	s := BenchScale()
+	s.Warmup, s.Measure = 5_000, 20_000
+	s.TraceLen = 8_000
+	s.MixCount = 1
+	s.MixWarmup, s.MixMeasure = 3_000, 8_000
+	s.RL.Agent.Hidden = 16
+	s.HillRounds = 1
+	return s
+}
+
+func TestListAndUnknown(t *testing.T) {
+	exps := List()
+	want := []string{"tab1", "fig1", "fig3", "hillclimb", "fig4", "fig5", "fig6", "fig7",
+		"fig10", "fig11", "fig12", "kpcp", "fig13", "tab4", "ablation", "agesweep", "weightsweep"}
+	have := map[string]bool{}
+	for _, e := range exps {
+		have[e.ID] = true
+		if e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, err := Run("nope", tinyScale()); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+}
+
+func TestCaptureLLCTrace(t *testing.T) {
+	s := tinyScale()
+	tr, err := CaptureLLCTrace("470.lbm", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != s.TraceLen {
+		t.Fatalf("captured %d accesses, want %d", len(tr), s.TraceLen)
+	}
+	var types [trace.NumAccessTypes]int
+	for _, a := range tr {
+		types[a.Type]++
+	}
+	if types[trace.Load] == 0 || types[trace.RFO] == 0 {
+		t.Errorf("trace missing demand types: %v", types)
+	}
+	// Memoized: second call returns the identical slice.
+	tr2, err := CaptureLLCTrace("470.lbm", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &tr[0] != &tr2[0] {
+		t.Error("trace capture not memoized")
+	}
+}
+
+func TestCaptureCacheResidentWorkloadTerminates(t *testing.T) {
+	// povray barely touches the LLC; the capture loop must stop at its
+	// instruction cap rather than spinning forever.
+	s := tinyScale()
+	s.TraceLen = 5_000
+	if _, err := CaptureLLCTrace("453.povray", s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTab1(t *testing.T) {
+	tbl, err := Run("tab1", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("Table I rows = %d, want 10", len(tbl.Rows))
+	}
+	// Find the rlr row and check the headline 16.75KB figure.
+	for _, r := range tbl.Rows {
+		if r[0] == "rlr" {
+			if r[2] != "16.75" {
+				t.Errorf("rlr overhead = %s KB, want 16.75", r[2])
+			}
+			if r[1] != "No" {
+				t.Errorf("rlr PC flag = %s, want No", r[1])
+			}
+		}
+	}
+}
+
+func TestFig1ShapeAndBeladyCeiling(t *testing.T) {
+	s := tinyScale()
+	tbl, err := Run("fig1", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("fig1 rows = %d, want 8 training benchmarks", len(tbl.Rows))
+	}
+	// Belady (last column) must upper-bound every other policy per row.
+	for _, row := range tbl.Rows {
+		belady := parseF(t, row[len(row)-1])
+		for i := 1; i < len(row)-1; i++ {
+			if v := parseF(t, row[i]); v > belady+0.01 {
+				t.Errorf("%s: %s=%v exceeds Belady %v", row[0], tbl.Header[i], v, belady)
+			}
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("unparseable cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig4FractionsSum(t *testing.T) {
+	tbl, err := Run("fig4", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := 0
+	for _, row := range tbl.Rows {
+		if row[4] == "0" {
+			continue // streaming benchmarks may have no 3×-referenced block
+			// within a tiny captured trace; nothing to distribute
+		}
+		sampled++
+		sum := parseF(t, row[1]) + parseF(t, row[2]) + parseF(t, row[3])
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s: fractions sum to %v", row[0], sum)
+		}
+	}
+	if sampled == 0 {
+		t.Error("no benchmark produced any preuse/reuse samples")
+	}
+}
+
+func TestFig5to7Shapes(t *testing.T) {
+	s := tinyScale()
+	f5, err := Run("fig5", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Rows) != 8 || len(f5.Header) != 5 {
+		t.Errorf("fig5 shape %dx%d", len(f5.Rows), len(f5.Header))
+	}
+	f6, err := Run("fig6", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f6.Rows {
+		sum := parseF(t, row[1]) + parseF(t, row[2]) + parseF(t, row[3])
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("fig6 %s: victim fractions sum to %v", row[0], sum)
+		}
+	}
+	f7, err := Run("fig7", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7.Rows) != 16 {
+		t.Errorf("fig7 rows = %d, want 16 recency levels", len(f7.Rows))
+	}
+}
+
+func TestFig3CoversFeatures(t *testing.T) {
+	tbl, err := Run("fig3", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 18 {
+		t.Errorf("fig3 rows = %d, want 18 features", len(tbl.Rows))
+	}
+	// Normalized weights: every cell in [0,1], and each column has a 1.00.
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			v := parseF(t, cell)
+			if v < 0 || v > 1.001 {
+				t.Errorf("fig3 weight %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestFig10SubsetShape(t *testing.T) {
+	// fig10 over all 29 benchmarks is the expensive one; exercise the
+	// machinery via the speedupTable helper on a 3-benchmark subset.
+	s := tinyScale()
+	tbl, ratios, err := speedupTable("subset", []string{"429.mcf", "470.lbm", "453.povray"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // 3 benchmarks + Overall
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	for name, rs := range ratios {
+		if len(rs) != 3 {
+			t.Errorf("policy %s has %d ratios, want 3", name, len(rs))
+		}
+		for _, r := range rs {
+			if r < 0.3 || r > 3 {
+				t.Errorf("policy %s ratio %v implausible", name, r)
+			}
+		}
+	}
+	if tbl.Rows[3][0] != "Overall" {
+		t.Errorf("last row = %q, want Overall", tbl.Rows[3][0])
+	}
+}
+
+func TestFig13Tiny(t *testing.T) {
+	tbl, err := Run("fig13", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig13 rows = %d, want 2 (SPEC + CloudSuite)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			v := parseF(t, cell)
+			if v < -80 || v > 200 {
+				t.Errorf("fig13 speedup %v%% implausible", v)
+			}
+		}
+	}
+}
+
+func TestAgeSweepShape(t *testing.T) {
+	tbl, err := Run("agesweep", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(ablationBenches) {
+		t.Fatalf("agesweep rows = %d", len(tbl.Rows))
+	}
+	if len(tbl.Header) != 10 {
+		t.Fatalf("agesweep cols = %d, want 10", len(tbl.Header))
+	}
+}
+
+func TestResetCaches(t *testing.T) {
+	s := tinyScale()
+	if _, err := CaptureLLCTrace("470.lbm", s); err != nil {
+		t.Fatal(err)
+	}
+	ResetCaches()
+	cacheMu.Lock()
+	n := len(traceCache) + len(agentCache)
+	cacheMu.Unlock()
+	if n != 0 {
+		t.Errorf("caches not cleared: %d entries", n)
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/policy"
+	"repro/internal/rl"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("tab1", "Table I: hardware overhead per replacement policy (16-way 2MB)", runTab1)
+	register("fig1", "Figure 1: LLC hit rate — LRU/DRRIP/SHiP/SHiP++/Hawkeye/RLR/RL/Belady", runFig1)
+}
+
+func runTab1(Scale) (*stats.Table, error) {
+	return TableOneTable()
+}
+
+// fig1Policies are the Figure 1 x-axis series, in the paper's order. The
+// RL agent and Belady entries are handled specially.
+var fig1Policies = []string{"lru", "drrip", "ship", "ship++", "hawkeye", "rlr"}
+
+func runFig1(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Figure 1: LLC hit rate (%) on the training benchmarks",
+		Header: append(append([]string{"benchmark"}, "LRU", "DRRIP", "SHiP", "SHiP++", "HAWKEYE", "RLR"), "RL", "BELADY"),
+	}
+	cfg := s.LLCConfig()
+	for _, bench := range workloadTrainingNames() {
+		tr, err := CaptureLLCTrace(bench, s)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{bench}
+		for _, pname := range fig1Policies {
+			st := cachesim.RunPolicy(cfg, policy.MustNew(pname), tr)
+			row = append(row, stats.F2(st.HitRate()))
+		}
+		agent, _, err := TrainedAgent(bench, s)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, stats.F2(rl.Evaluate(cfg, agent, tr).HitRate()))
+		oracle := policy.NewOracle(tr, cfg.LineSize)
+		bel := cachesim.RunPolicy(cfg, policy.NewBelady(oracle), tr)
+		row = append(row, stats.F2(bel.HitRate()))
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

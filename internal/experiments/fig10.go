@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register("fig10", "Figure 10: IPC speedup over LRU, SPEC CPU 2006, single-core", runFig10)
+	register("fig11", "Figure 11: IPC speedup over LRU, CloudSuite, single-core", runFig11)
+	register("fig12", "Figure 12: demand MPKI per policy (benchmarks with LRU MPKI > 3)", runFig12)
+	register("kpcp", "§V-B: RLR vs KPC-R with KPC-P as the L2 prefetcher", runKPCP)
+}
+
+// TableOneTable renders Table I at the paper's 2MB 16-way geometry.
+func TableOneTable() (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Table I: hardware overhead for a 16-way 2MB cache",
+		Header: []string{"policy", "uses PC", "overhead (KB)", "source"},
+	}
+	cfg := cache.Config{Sets: 2048, Ways: 16, LineSize: 64}
+	order := []string{"lru", "drrip", "kpc-r", "mpppb", "ship", "ship++", "hawkeye", "glider", "rlr", "rlr-unopt"}
+	for _, name := range order {
+		o, err := core.PolicyOverhead(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pc := "No"
+		if o.UsesPC {
+			pc = "Yes"
+		}
+		src := "modeled"
+		if o.FromPaper {
+			src = "paper-reported"
+		}
+		tbl.AddRow(o.Policy, pc, stats.F2(o.KB()), src)
+	}
+	return tbl, nil
+}
+
+// ipcPolicies is the Figure 10/11 series order.
+var ipcPolicies = []struct {
+	Label string
+	Name  string
+}{
+	{"DRRIP", "drrip"},
+	{"KPC-R", "kpc-r"},
+	{"SHiP", "ship"},
+	{"RLR", "rlr"},
+	{"RLR(UNOPT)", "rlr-unopt"},
+	{"HAWKEYE", "hawkeye"},
+	{"SHiP++", "ship++"},
+}
+
+// speedupTable runs the single-core IPC comparison over the given
+// workloads, returning the per-benchmark speedup rows plus an Overall
+// geomean row, and the raw ratios for Table IV.
+func speedupTable(title string, names []string, s Scale) (*stats.Table, map[string][]float64, error) {
+	tbl := &stats.Table{Title: title, Header: []string{"benchmark"}}
+	for _, p := range ipcPolicies {
+		tbl.Header = append(tbl.Header, p.Label)
+	}
+	ratios := make(map[string][]float64, len(ipcPolicies))
+	for _, bench := range names {
+		base, err := runIPC(bench, policy.MustNew("lru"), s)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := []string{bench}
+		for _, p := range ipcPolicies {
+			res, err := runIPC(bench, policy.MustNew(p.Name), s)
+			if err != nil {
+				return nil, nil, err
+			}
+			ratio := res.IPC() / base.IPC()
+			ratios[p.Name] = append(ratios[p.Name], ratio)
+			row = append(row, stats.Pct(stats.SpeedupPct(res.IPC(), base.IPC())))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	overall := []string{"Overall"}
+	for _, p := range ipcPolicies {
+		overall = append(overall, stats.Pct(stats.GeoMeanSpeedupPct(ratios[p.Name])))
+	}
+	tbl.Rows = append(tbl.Rows, overall)
+	return tbl, ratios, nil
+}
+
+func runFig10(s Scale) (*stats.Table, error) {
+	tbl, _, err := speedupTable(
+		"Figure 10: IPC speedup over LRU (%), SPEC CPU 2006, single-core",
+		workloads.SPECNames(), s)
+	return tbl, err
+}
+
+func runFig11(s Scale) (*stats.Table, error) {
+	tbl, _, err := speedupTable(
+		"Figure 11: IPC speedup over LRU (%), CloudSuite, single-core",
+		workloads.CloudNames(), s)
+	return tbl, err
+}
+
+func runFig12(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Figure 12: demand MPKI (benchmarks with LRU MPKI > 3)",
+		Header: []string{"benchmark", "LRU"},
+	}
+	for _, p := range ipcPolicies {
+		tbl.Header = append(tbl.Header, p.Label)
+	}
+	for _, bench := range workloads.SPECNames() {
+		base, err := runIPC(bench, policy.MustNew("lru"), s)
+		if err != nil {
+			return nil, err
+		}
+		if base.DemandMPKI <= 3 {
+			continue // the paper plots only memory-intensive benchmarks
+		}
+		row := []string{bench, stats.F2(base.DemandMPKI)}
+		for _, p := range ipcPolicies {
+			res, err := runIPC(bench, policy.MustNew(p.Name), s)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.F2(res.DemandMPKI))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+// kpcpBenches is the memory-intensive subset used for the KPC-P study.
+var kpcpBenches = []string{
+	"429.mcf", "470.lbm", "462.libquantum", "459.GemsFDTD",
+	"437.leslie3d", "450.soplex", "471.omnetpp", "483.xalancbmk",
+}
+
+func runKPCP(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "§V-B: IPC speedup over LRU (%) with KPC-P as the L2 prefetcher",
+		Header: []string{"benchmark", "KPC-R", "RLR"},
+	}
+	cfg := s.sysConfig(1)
+	cfg.L2Prefetcher = "kpc-p"
+	run := func(bench string, pol policy.Policy) (float64, error) {
+		spec, err := workloads.ByName(bench)
+		if err != nil {
+			return 0, err
+		}
+		sys := uarch.NewSystem(cfg, pol)
+		wireKPC(sys, pol)
+		return sys.RunSingle(workloads.New(spec), s.Warmup, s.Measure).IPC(), nil
+	}
+	var krRatios, rlrRatios []float64
+	for _, bench := range kpcpBenches {
+		base, err := run(bench, policy.MustNew("lru"))
+		if err != nil {
+			return nil, err
+		}
+		kr, err := run(bench, policy.MustNew("kpc-r"))
+		if err != nil {
+			return nil, err
+		}
+		rr, err := run(bench, policy.MustNew("rlr"))
+		if err != nil {
+			return nil, err
+		}
+		krRatios = append(krRatios, kr/base)
+		rlrRatios = append(rlrRatios, rr/base)
+		tbl.AddRow(bench, stats.Pct(stats.SpeedupPct(kr, base)), stats.Pct(stats.SpeedupPct(rr, base)))
+	}
+	tbl.AddRow("Overall",
+		stats.Pct(stats.GeoMeanSpeedupPct(krRatios)),
+		stats.Pct(stats.GeoMeanSpeedupPct(rlrRatios)))
+	return tbl, nil
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register("fig13", "Figure 13: 4-core speedup over LRU (SPEC mixes + CloudSuite)", runFig13)
+	register("tab4", "Table IV: overall speedup summary (1-core and 4-core)", runTab4)
+}
+
+// mcPolicies is the Figure 13 series. RLR uses the §IV-D multicore
+// extension (core priorities), which is how the paper evaluates it 4-core.
+var mcPolicies = []struct {
+	Label string
+	Name  string
+}{
+	{"DRRIP", "drrip"},
+	{"KPC-R", "kpc-r"},
+	{"SHiP", "ship"},
+	{"RLR", "rlr-mc"},
+	{"RLR(UNOPT)", "rlr-unopt"},
+	{"HAWKEYE", "hawkeye"},
+	{"SHiP++", "ship++"},
+}
+
+// runMix executes one 4-core mix under one policy, returning per-core IPC.
+func runMix(mix []string, polName string, s Scale) ([]float64, error) {
+	cfg := s.sysConfig(4)
+	srcs := make([]uarch.InstrSource, len(mix))
+	for i, name := range mix {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = workloads.New(spec)
+	}
+	sys := uarch.NewSystem(cfg, policy.MustNew(polName))
+	results := sys.RunMulti(srcs, s.MixWarmup, s.MixMeasure)
+	ipcs := make([]float64, len(results))
+	for i, r := range results {
+		ipcs[i] = r.IPC()
+	}
+	return ipcs, nil
+}
+
+var (
+	mixMu    sync.Mutex
+	mixCache = map[string]map[string]float64{}
+)
+
+// mixSpeedups computes, for each policy, the geomean-over-mixes of the
+// §V-A mix speedup formula. Results are memoized per (mix set, scale):
+// fig13 and tab4 share them.
+func mixSpeedups(mixes [][]string, s Scale) (map[string]float64, error) {
+	key := fmt.Sprintf("%v/%s/%d/%d/%d", mixes, s.Name, s.MixWarmup, s.MixMeasure, s.CacheDiv)
+	mixMu.Lock()
+	if out, ok := mixCache[key]; ok {
+		mixMu.Unlock()
+		return out, nil
+	}
+	mixMu.Unlock()
+	perPolicy := make(map[string][]float64, len(mcPolicies))
+	for _, mix := range mixes {
+		base, err := runMix(mix, "lru", s)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range mcPolicies {
+			ipcs, err := runMix(mix, p.Name, s)
+			if err != nil {
+				return nil, err
+			}
+			perPolicy[p.Name] = append(perPolicy[p.Name], stats.MixSpeedup(ipcs, base))
+		}
+	}
+	out := make(map[string]float64, len(mcPolicies))
+	for _, p := range mcPolicies {
+		out[p.Name] = stats.GeoMeanSpeedupPct(perPolicy[p.Name])
+	}
+	mixMu.Lock()
+	mixCache[key] = out
+	mixMu.Unlock()
+	return out, nil
+}
+
+// cloudMixes4 builds the CloudSuite 4-core runs: 4-of-5 rotations.
+func cloudMixes4(n int) [][]string {
+	names := workloads.CloudNames()
+	var out [][]string
+	for i := 0; i < n && i < len(names); i++ {
+		mix := make([]string, 4)
+		for j := 0; j < 4; j++ {
+			mix[j] = names[(i+j)%len(names)]
+		}
+		out = append(out, mix)
+	}
+	return out
+}
+
+func runFig13(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Figure 13: 4-core geomean speedup over LRU (%)",
+		Header: []string{"suite"},
+	}
+	for _, p := range mcPolicies {
+		tbl.Header = append(tbl.Header, p.Label)
+	}
+	specMixes := workloads.Mixes(s.MixCount, 2026)
+	spec, err := mixSpeedups(specMixes, s)
+	if err != nil {
+		return nil, err
+	}
+	row := []string{fmt.Sprintf("SPEC2006 (%d mixes)", len(specMixes))}
+	for _, p := range mcPolicies {
+		row = append(row, stats.Pct(spec[p.Name]))
+	}
+	tbl.Rows = append(tbl.Rows, row)
+
+	cm := cloudMixes4(3)
+	cloud, err := mixSpeedups(cm, s)
+	if err != nil {
+		return nil, err
+	}
+	row = []string{fmt.Sprintf("CloudSuite (%d mixes)", len(cm))}
+	for _, p := range mcPolicies {
+		row = append(row, stats.Pct(cloud[p.Name]))
+	}
+	tbl.Rows = append(tbl.Rows, row)
+	return tbl, nil
+}
+
+func runTab4(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Table IV: overall speedup over LRU (%)",
+		Header: []string{"policy", "1-core SPEC2006", "1-core CloudSuite", "4-core SPEC2006", "4-core CloudSuite"},
+	}
+	_, specRatios, err := speedupTable("", workloads.SPECNames(), s)
+	if err != nil {
+		return nil, err
+	}
+	_, cloudRatios, err := speedupTable("", workloads.CloudNames(), s)
+	if err != nil {
+		return nil, err
+	}
+	spec4, err := mixSpeedups(workloads.Mixes(s.MixCount, 2026), s)
+	if err != nil {
+		return nil, err
+	}
+	cloud4, err := mixSpeedups(cloudMixes4(3), s)
+	if err != nil {
+		return nil, err
+	}
+	label4 := map[string]string{ // 1-core policy name → 4-core policy name
+		"rlr": "rlr-mc",
+	}
+	for _, p := range ipcPolicies {
+		mc := p.Name
+		if m, ok := label4[p.Name]; ok {
+			mc = m
+		}
+		tbl.AddRow(p.Label,
+			stats.Pct(stats.GeoMeanSpeedupPct(specRatios[p.Name])),
+			stats.Pct(stats.GeoMeanSpeedupPct(cloudRatios[p.Name])),
+			stats.Pct(spec4[mc]),
+			stats.Pct(cloud4[mc]))
+	}
+	return tbl, nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/rl"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register("fig3", "Figure 3: heat map of NN input weights per Table II feature", runFig3)
+	register("hillclimb", "§III-B: hill-climbing feature selection", runHillClimb)
+	register("fig4", "Figure 4: |preuse − reuse| distance distribution", runFig4)
+	register("fig5", "Figure 5: average victim age per access type (agent victims)", runFig5)
+	register("fig6", "Figure 6: victim hits-since-insertion distribution", runFig6)
+	register("fig7", "Figure 7: victim recency histogram", runFig7)
+}
+
+func workloadTrainingNames() []string { return workloads.TrainingNames() }
+
+func runFig3(s Scale) (*stats.Table, error) {
+	benches := workloadTrainingNames()
+	tbl := &stats.Table{
+		Title:  "Figure 3: mean |input weight| per feature (rows) per benchmark (cols)",
+		Header: append([]string{"feature"}, benches...),
+	}
+	weights := make(map[string]map[rl.Feature]float64, len(benches))
+	for _, b := range benches {
+		agent, _, err := TrainedAgent(b, s)
+		if err != nil {
+			return nil, err
+		}
+		rows := analysis.HeatMap(agent)
+		m := make(map[rl.Feature]float64, len(rows))
+		// Normalize per benchmark (heat maps compare within a column).
+		max := rows[0].Weight
+		for _, r := range rows {
+			if max > 0 {
+				m[r.Feature] = r.Weight / max
+			}
+		}
+		weights[b] = m
+	}
+	for f := rl.Feature(0); f < rl.NumFeatures; f++ {
+		row := []string{f.String()}
+		for _, b := range benches {
+			row = append(row, stats.F2(weights[b][f]))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+func runHillClimb(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Hill-climbing feature selection (greedy; §III-B)",
+		Header: []string{"benchmark", "round", "feature added", "hit rate"},
+	}
+	if s.HillRounds <= 0 {
+		return tbl, nil
+	}
+	// Hill climbing trains O(features × rounds) agents; keep each one
+	// small (the search ranks features, it does not need the full network)
+	// and run it on two representative training benchmarks.
+	opts := s.RL
+	if opts.Agent.Hidden > 32 {
+		opts.Agent.Hidden = 32
+	}
+	opts.Epochs = 1
+	for _, b := range []string{"429.mcf", "470.lbm"} {
+		tr, err := CaptureLLCTrace(b, s)
+		if err != nil {
+			return nil, err
+		}
+		if len(tr) > 60_000 {
+			tr = tr[:60_000]
+		}
+		steps := analysis.HillClimb(s.LLCConfig(), tr, opts, s.HillRounds)
+		for i, st := range steps {
+			tbl.AddRow(b, fmt.Sprint(i+1), st.Added.String(), stats.F2(st.HitRate))
+		}
+	}
+	return tbl, nil
+}
+
+func runFig4(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Figure 4: share of reused lines by |preuse − reuse| (set accesses)",
+		Header: []string{"benchmark", "<10", "10-50", ">50", "samples"},
+	}
+	for _, b := range workloadTrainingNames() {
+		tr, err := CaptureLLCTrace(b, s)
+		if err != nil {
+			return nil, err
+		}
+		pr := analysis.PreuseReuseDiff(s.LLCConfig(), tr)
+		tbl.AddRow(b, stats.Pct(100*pr.Below10), stats.Pct(100*pr.Mid10to50),
+			stats.Pct(100*pr.Above50), fmt.Sprint(pr.Samples))
+	}
+	return tbl, nil
+}
+
+// victimStats trains (or reuses) the benchmark's agent and collects the
+// eviction statistics behind Figures 5–7.
+func victimStats(b string, s Scale) (analysis.VictimStats, error) {
+	agent, tr, err := TrainedAgent(b, s)
+	if err != nil {
+		return analysis.VictimStats{}, err
+	}
+	return analysis.CollectVictimStats(s.LLCConfig(), agent, tr), nil
+}
+
+func runFig5(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Figure 5: average victim age (set accesses since last access) per access type",
+		Header: []string{"benchmark", "LOAD", "RFO", "PREFETCH", "WRITEBACK"},
+	}
+	for _, b := range workloadTrainingNames() {
+		st, err := victimStats(b, s)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(b,
+			stats.F2(st.AvgAgeByType[trace.Load]),
+			stats.F2(st.AvgAgeByType[trace.RFO]),
+			stats.F2(st.AvgAgeByType[trace.Prefetch]),
+			stats.F2(st.AvgAgeByType[trace.Writeback]))
+	}
+	return tbl, nil
+}
+
+func runFig6(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Figure 6: victims by hits since insertion",
+		Header: []string{"benchmark", "0 hits", "1 hit", ">1 hit"},
+	}
+	for _, b := range workloadTrainingNames() {
+		st, err := victimStats(b, s)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(b, stats.Pct(100*st.HitsZero), stats.Pct(100*st.HitsOne), stats.Pct(100*st.HitsMore))
+	}
+	return tbl, nil
+}
+
+func runFig7(s Scale) (*stats.Table, error) {
+	benches := workloadTrainingNames()
+	ways := QuickLLCWays(s)
+	tbl := &stats.Table{
+		Title:  "Figure 7: percentage of victims by recency (0 = LRU)",
+		Header: append([]string{"recency"}, benches...),
+	}
+	cols := make(map[string][]float64, len(benches))
+	for _, b := range benches {
+		st, err := victimStats(b, s)
+		if err != nil {
+			return nil, err
+		}
+		cols[b] = st.RecencyPct
+	}
+	for r := 0; r < ways; r++ {
+		row := []string{fmt.Sprint(r)}
+		for _, b := range benches {
+			row = append(row, stats.F2(cols[b][r]))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+// QuickLLCWays returns the LLC associativity at this scale (16 at every
+// scale; exported for the table shape).
+func QuickLLCWays(s Scale) int { return s.LLCConfig().Ways }

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func mustPolicy(t *testing.T, name string) policy.Policy {
+	t.Helper()
+	p, err := policy.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAblationRunsAndDiffers(t *testing.T) {
+	s := tinyScale()
+	tbl, err := Run("ablation", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(ablationBenches)+1 {
+		t.Fatalf("ablation rows = %d, want %d + Overall", len(tbl.Rows), len(ablationBenches))
+	}
+	// The three variants must not be bitwise-identical across every row
+	// (the memoization-collision regression this guards against).
+	allSame := true
+	for _, row := range tbl.Rows {
+		if row[1] != row[2] || row[1] != row[3] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Error("ablation variants produced identical columns everywhere; cache collision?")
+	}
+}
+
+func TestWeightSweepShape(t *testing.T) {
+	tbl, err := Run("weightsweep", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Header) != 5 {
+		t.Fatalf("weightsweep cols = %d, want 5", len(tbl.Header))
+	}
+	if len(tbl.Rows) != len(ablationBenches) {
+		t.Fatalf("weightsweep rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestKPCPExperiment(t *testing.T) {
+	tbl, err := Run("kpcp", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(kpcpBenches)+1 {
+		t.Fatalf("kpcp rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[len(tbl.Rows)-1][0] != "Overall" {
+		t.Error("kpcp missing Overall row")
+	}
+}
+
+func TestHillClimbExperimentTiny(t *testing.T) {
+	s := tinyScale()
+	s.HillRounds = 1
+	tbl, err := Run("hillclimb", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("hillclimb produced no steps")
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "" {
+			t.Error("hillclimb row missing feature name")
+		}
+	}
+}
+
+func TestListOrderMatchesPaper(t *testing.T) {
+	exps := List()
+	if exps[0].ID != "tab1" {
+		t.Errorf("first experiment = %s, want tab1", exps[0].ID)
+	}
+	idx := map[string]int{}
+	for i, e := range exps {
+		idx[e.ID] = i
+	}
+	if idx["fig10"] > idx["fig13"] {
+		t.Error("fig10 should precede fig13")
+	}
+	if idx["hillclimb"] != len(exps)-1 {
+		t.Error("hillclimb (slowest) should be last")
+	}
+}
+
+func TestIPCMemoization(t *testing.T) {
+	s := tinyScale()
+	p := mustPolicy(t, "lru")
+	a, err := runIPC("470.lbm", p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runIPC("470.lbm", mustPolicy(t, "lru"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("memoized runIPC returned different results")
+	}
+}
+
+func TestTableCSVWellFormed(t *testing.T) {
+	tbl, err := Run("tab1", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	want := strings.Count(lines[0], ",")
+	for i, ln := range lines {
+		if strings.Count(ln, ",") != want {
+			t.Errorf("CSV line %d has inconsistent columns: %q", i, ln)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package mathx provides the small numeric helpers shared by the simulator,
+// the RL stack, and the experiment harness: geometric means, percentiles,
+// histograms, and simple descriptive statistics.
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs. It returns 0 for an empty slice
+// and panics if any value is non-positive, since the geometric mean of the
+// IPC speedups this repository computes is only defined for positive inputs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("mathx: GeoMean of non-positive value")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt limits x to the closed interval [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ArgMax returns the index of the maximum value in xs, breaking ties toward
+// the lowest index. It panics on an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("mathx: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum value in xs, breaking ties toward
+// the lowest index. It panics on an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("mathx: ArgMin of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Histogram counts values into buckets delimited by the sorted boundaries.
+// A value v lands in bucket i when boundaries[i-1] <= v < boundaries[i];
+// values >= the last boundary land in the final overflow bucket, so the
+// result has len(boundaries)+1 entries.
+type Histogram struct {
+	boundaries []float64
+	counts     []int64
+	total      int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket
+// boundaries. It panics if the boundaries are not strictly ascending.
+func NewHistogram(boundaries ...float64) *Histogram {
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			panic("mathx: histogram boundaries must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(boundaries))
+	copy(b, boundaries)
+	return &Histogram{boundaries: b, counts: make([]int64, len(b)+1)}
+}
+
+// Add records one observation of v.
+func (h *Histogram) Add(v float64) {
+	idx := sort.SearchFloat64s(h.boundaries, v)
+	// SearchFloat64s returns the first i with boundaries[i] >= v; v == boundary
+	// should overflow into the next bucket (half-open intervals), so advance.
+	if idx < len(h.boundaries) && h.boundaries[idx] == v {
+		idx++
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Counts returns a copy of the raw bucket counts (len(boundaries)+1).
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Fractions returns each bucket's share of all observations, or all zeros
+// when the histogram is empty.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// RunningMean accumulates a mean without storing samples.
+type RunningMean struct {
+	n   int64
+	sum float64
+}
+
+// Add records one observation.
+func (r *RunningMean) Add(v float64) {
+	r.n++
+	r.sum += v
+}
+
+// Mean returns the current mean, or 0 if nothing has been recorded.
+func (r *RunningMean) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Count returns the number of observations recorded.
+func (r *RunningMean) Count() int64 { return r.n }
+
+// ILog2 returns floor(log2(x)) for x >= 1, and 0 for x == 0. It is used to
+// size bit-width fields (e.g. recency needs log2(associativity) bits).
+func ILog2(x uint64) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// CeilLog2 returns ceil(log2(x)) for x >= 1; 0 for x <= 1.
+func CeilLog2(x uint64) int {
+	if x <= 1 {
+		return 0
+	}
+	n := ILog2(x)
+	if uint64(1)<<n < x {
+		n++
+	}
+	return n
+}
+
+// IsPow2 reports whether x is a power of two (x > 0).
+func IsPow2(x uint64) bool { return x != 0 && x&(x-1) == 0 }

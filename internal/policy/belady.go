@@ -1,0 +1,129 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// NeverUsed is the next-use distance reported for a block with no future
+// reference.
+const NeverUsed = math.MaxUint64
+
+// Oracle provides perfect future knowledge over a fixed LLC access trace:
+// for any block and any position in the trace, the index of the block's
+// next reference. It backs the Belady policy and the RL reward function
+// (§III-A), mirroring the paper's Python simulator, which looks ahead in
+// the trace for both.
+type Oracle struct {
+	positions map[uint64][]uint64 // block → sorted access indices
+	blockOf   func(addr uint64) uint64
+	length    uint64
+}
+
+// NewOracle scans accesses once and indexes every block's reference
+// positions. lineSize must match the cache the trace will be replayed
+// against.
+func NewOracle(accesses []trace.Access, lineSize uint64) *Oracle {
+	shift := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	o := &Oracle{
+		positions: make(map[uint64][]uint64),
+		blockOf:   func(addr uint64) uint64 { return addr >> shift },
+		length:    uint64(len(accesses)),
+	}
+	for i, a := range accesses {
+		b := o.blockOf(a.Addr)
+		o.positions[b] = append(o.positions[b], uint64(i))
+	}
+	return o
+}
+
+// NextUse returns the index of the first reference to addr's block strictly
+// after seq, or NeverUsed.
+func (o *Oracle) NextUse(addr uint64, seq uint64) uint64 {
+	return o.NextUseBlock(o.blockOf(addr), seq)
+}
+
+// NextUseBlock is NextUse keyed directly by block address.
+func (o *Oracle) NextUseBlock(block uint64, seq uint64) uint64 {
+	pos := o.positions[block]
+	i := sort.Search(len(pos), func(i int) bool { return pos[i] > seq })
+	if i == len(pos) {
+		return NeverUsed
+	}
+	return pos[i]
+}
+
+// ReuseDistance returns the number of trace accesses until addr's block is
+// referenced again after seq, or NeverUsed.
+func (o *Oracle) ReuseDistance(addr uint64, seq uint64) uint64 {
+	nu := o.NextUse(addr, seq)
+	if nu == NeverUsed {
+		return NeverUsed
+	}
+	return nu - seq
+}
+
+// Len returns the trace length the oracle was built from.
+func (o *Oracle) Len() uint64 { return o.length }
+
+// Belady implements the optimal replacement policy: evict the line whose
+// next use lies farthest in the future. With bypass enabled, an access
+// whose own next use is farther than every resident line's is not cached
+// at all — the true MIN algorithm.
+type Belady struct {
+	oracle      *Oracle
+	AllowBypass bool
+}
+
+// NewBelady wraps an oracle in a Policy. The same oracle may back multiple
+// policy instances.
+func NewBelady(o *Oracle) *Belady { return &Belady{oracle: o} }
+
+// NewBeladyBypass is NewBelady with MIN-style bypass enabled.
+func NewBeladyBypass(o *Oracle) *Belady { return &Belady{oracle: o, AllowBypass: true} }
+
+// Name implements Policy.
+func (p *Belady) Name() string {
+	if p.AllowBypass {
+		return "belady-bypass"
+	}
+	return "belady"
+}
+
+// Init implements Policy.
+func (p *Belady) Init(Config) {
+	if p.oracle == nil {
+		panic("policy: Belady requires an Oracle; construct with NewBelady")
+	}
+}
+
+// Victim implements Policy.
+func (p *Belady) Victim(ctx AccessCtx, set *cache.Set) int {
+	best, bestNext := 0, uint64(0)
+	for w := range set.Lines {
+		nu := p.oracle.NextUseBlock(set.Lines[w].Block, ctx.Seq)
+		if nu > bestNext || (nu == bestNext && w == 0) {
+			best, bestNext = w, nu
+		}
+		if nu == NeverUsed {
+			// Dead line: cannot do better; prefer the first one found.
+			return w
+		}
+	}
+	if p.AllowBypass {
+		own := p.oracle.NextUse(ctx.Addr, ctx.Seq)
+		if own > bestNext {
+			return Bypass
+		}
+	}
+	return best
+}
+
+// Update implements Policy. Belady is stateless beyond the oracle.
+func (*Belady) Update(AccessCtx, *cache.Set, int, bool) {}

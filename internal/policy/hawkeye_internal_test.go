@@ -1,0 +1,71 @@
+package policy
+
+import "testing"
+
+func TestOptGenSingleBlockAlwaysHits(t *testing.T) {
+	og := newOptGenSet(4)
+	og.access(1, 0x10)
+	for i := 0; i < 10; i++ {
+		hit, pc, trainable := og.access(1, 0x10)
+		if !trainable {
+			t.Fatalf("iteration %d: repeat access not trainable", i)
+		}
+		if !hit {
+			t.Fatalf("iteration %d: single resident block reported OPT miss", i)
+		}
+		if pc != 0x10 {
+			t.Fatalf("train PC = %#x, want 0x10", pc)
+		}
+	}
+}
+
+func TestOptGenCapacityPressure(t *testing.T) {
+	// Associativity 2 → capacity 2. Interleave 3 blocks cyclically: at most
+	// 2 of the 3 liveness intervals can fit; OPTgen must report misses.
+	og := newOptGenSet(2)
+	hits, misses := 0, 0
+	blocks := []uint64{1, 2, 3}
+	for rep := 0; rep < 20; rep++ {
+		for _, b := range blocks {
+			h, _, trainable := og.access(b, b)
+			if trainable {
+				if h {
+					hits++
+				} else {
+					misses++
+				}
+			}
+		}
+	}
+	if misses == 0 {
+		t.Errorf("OPTgen reported no misses under capacity pressure (hits=%d)", hits)
+	}
+	// OPT on cyclic 3-over-2 achieves 1 hit per 3 accesses: hits should be
+	// positive too.
+	if hits == 0 {
+		t.Errorf("OPTgen reported no hits; OPT achieves some (misses=%d)", misses)
+	}
+}
+
+func TestOptGenWindowExpiry(t *testing.T) {
+	og := newOptGenSet(2) // window = 16
+	og.access(7, 0x1)
+	// Push 20 distinct blocks through: block 7's interval exceeds window.
+	for b := uint64(100); b < 120; b++ {
+		og.access(b, 0x2)
+	}
+	_, _, trainable := og.access(7, 0x1)
+	if trainable {
+		t.Error("access beyond OPTgen window was trainable")
+	}
+}
+
+func TestOptGenHistoryBounded(t *testing.T) {
+	og := newOptGenSet(2)
+	for b := uint64(0); b < 100000; b++ {
+		og.access(b, 1)
+	}
+	if len(og.history) > int(8*og.window) {
+		t.Errorf("OPTgen history grew unbounded: %d entries", len(og.history))
+	}
+}

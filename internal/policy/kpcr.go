@@ -1,0 +1,113 @@
+package policy
+
+import (
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+func init() {
+	Register("kpc-r", func() Policy { return NewKPCR() })
+}
+
+// KPCR is the replacement half of KPC ("Kill the Program Counter", Kim et
+// al. [19]). It is RRIP-based and PC-free: two global counters, trained by
+// leader sets, decide whether demand fills insert at the LRU position
+// (RRPV 3) or near-LRU (RRPV 2), adapting to the program phase. Prefetch
+// fills always insert distant, and a prefetch hit only promotes the line
+// when the prefetcher reports high confidence for that address — KPC-P's
+// confidence-gated promotion. Without a confidence source (the LLC-only
+// simulator), prefetch hits promote one step only.
+type KPCR struct {
+	st      rripState
+	setMask uint32
+	// cnear/cfar are the two global adaptation counters: hits observed in
+	// the near-insert and far-insert leader sets.
+	cnear, cfar uint32
+	// Confidence is an optional callback supplied by the prefetcher (KPC-P)
+	// reporting whether the block at addr was prefetched with high
+	// confidence.
+	Confidence func(addr uint64) bool
+}
+
+// kpcCounterMax bounds the global counters; when either saturates, both are
+// halved so the policy keeps adapting across phases.
+const kpcCounterMax = 1 << 12
+
+// NewKPCR returns a new KPC-R policy.
+func NewKPCR() *KPCR { return &KPCR{} }
+
+// Name implements Policy.
+func (*KPCR) Name() string { return "kpc-r" }
+
+// Init implements Policy.
+func (p *KPCR) Init(cfg Config) {
+	p.st = newRRIPState(cfg)
+	p.setMask = uint32(duelGroup - 1)
+	if cfg.Sets < duelGroup {
+		p.setMask = uint32(cfg.Sets - 1)
+	}
+	p.cnear, p.cfar = 0, 0
+}
+
+// leader classifies a set: +1 near-insert leader, -1 far-insert leader.
+func (p *KPCR) leader(setIdx uint32) int {
+	switch setIdx & p.setMask {
+	case 1:
+		return +1
+	case p.setMask/2 + 1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Victim implements Policy.
+func (p *KPCR) Victim(ctx AccessCtx, _ *cache.Set) int { return p.st.victim(ctx.SetIdx) }
+
+// Update implements Policy.
+func (p *KPCR) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
+	if hit {
+		switch {
+		case ctx.Type == trace.Prefetch:
+			// Confidence-gated promotion (KPC-P integration).
+			if p.Confidence != nil && p.Confidence(ctx.Addr) {
+				p.st.rrpv[ctx.SetIdx][way] = 0
+			} else if p.st.rrpv[ctx.SetIdx][way] > 0 {
+				p.st.rrpv[ctx.SetIdx][way]--
+			}
+		case ctx.Type == trace.Writeback:
+			// No reuse information.
+		default:
+			p.st.rrpv[ctx.SetIdx][way] = 0
+			// Global counter training: a demand hit in a leader set is a
+			// vote for that leader's insertion depth.
+			switch p.leader(ctx.SetIdx) {
+			case +1:
+				p.cnear++
+			case -1:
+				p.cfar++
+			}
+			if p.cnear >= kpcCounterMax || p.cfar >= kpcCounterMax {
+				p.cnear /= 2
+				p.cfar /= 2
+			}
+		}
+		return
+	}
+	// Fill.
+	near := p.cnear >= p.cfar
+	switch p.leader(ctx.SetIdx) {
+	case +1:
+		near = true
+	case -1:
+		near = false
+	}
+	switch {
+	case ctx.Type == trace.Prefetch || ctx.Type == trace.Writeback:
+		p.st.rrpv[ctx.SetIdx][way] = rripMax
+	case near:
+		p.st.rrpv[ctx.SetIdx][way] = rripMax - 1
+	default:
+		p.st.rrpv[ctx.SetIdx][way] = rripMax
+	}
+}

@@ -1,0 +1,115 @@
+package policy_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// TestOracleProperties checks the future-knowledge index against a naive
+// O(n²) scan on random traces.
+func TestOracleProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 50 + rng.Intn(200)
+		accesses := make([]trace.Access, n)
+		for i := range accesses {
+			accesses[i] = trace.Access{Addr: rng.Uint64n(20) * 64, Type: trace.Load}
+		}
+		o := policy.NewOracle(accesses, 64)
+		for probe := 0; probe < 30; probe++ {
+			seq := uint64(rng.Intn(n))
+			addr := accesses[rng.Intn(n)].Addr
+			got := o.NextUse(addr, seq)
+			// Naive scan.
+			want := uint64(policy.NeverUsed)
+			for j := int(seq) + 1; j < n; j++ {
+				if accesses[j].Addr>>6 == addr>>6 {
+					want = uint64(j)
+					break
+				}
+			}
+			if got != want {
+				return false
+			}
+			if got != policy.NeverUsed && got <= seq {
+				return false // NextUse must be strictly in the future
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBeladyMatchesExhaustiveOnTinyTrace compares Belady's hit count with
+// the best achievable by exhaustive search over all eviction choices, on a
+// trace small enough to brute-force. MIN is optimal, so they must agree.
+func TestBeladyMatchesExhaustiveOnTinyTrace(t *testing.T) {
+	// 1 set, 2 ways, 10 accesses over 4 blocks.
+	rng := xrand.New(99)
+	for trial := 0; trial < 10; trial++ {
+		accesses := make([]trace.Access, 10)
+		for i := range accesses {
+			accesses[i] = trace.Access{Addr: rng.Uint64n(4) * 64, Type: trace.Load}
+		}
+		best := bruteForceHits(accesses, 2)
+		o := policy.NewOracle(accesses, 64)
+		bl := runTinySim(accesses, policy.NewBelady(o))
+		if bl != best {
+			t.Errorf("trial %d: Belady hits %d, exhaustive optimum %d (trace %v)",
+				trial, bl, best, blocksOf(accesses))
+		}
+	}
+}
+
+func blocksOf(accesses []trace.Access) []uint64 {
+	out := make([]uint64, len(accesses))
+	for i, a := range accesses {
+		out[i] = a.Addr / 64
+	}
+	return out
+}
+
+// bruteForceHits explores every eviction decision sequence for a 1-set
+// ways-way cache (demand fill, no bypass) and returns the max hit count.
+func bruteForceHits(accesses []trace.Access, ways int) int {
+	var rec func(idx int, resident []uint64) int
+	rec = func(idx int, resident []uint64) int {
+		if idx == len(accesses) {
+			return 0
+		}
+		blk := accesses[idx].Addr / 64
+		for _, r := range resident {
+			if r == blk {
+				return 1 + rec(idx+1, resident)
+			}
+		}
+		if len(resident) < ways {
+			return rec(idx+1, append(append([]uint64(nil), resident...), blk))
+		}
+		best := 0
+		for v := 0; v < ways; v++ {
+			next := append([]uint64(nil), resident...)
+			next[v] = blk
+			if h := rec(idx+1, next); h > best {
+				best = h
+			}
+		}
+		return best
+	}
+	return rec(0, nil)
+}
+
+// runTinySim replays accesses through a 1-set 2-way cache and returns the
+// hit count.
+func runTinySim(accesses []trace.Access, p policy.Policy) int {
+	cfg := cache.Config{Sets: 1, Ways: 2, LineSize: 64}
+	return int(cachesim.RunPolicy(cfg, p, accesses).Hits)
+}

@@ -1,0 +1,316 @@
+package policy_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// tiny returns a 1-set cache config with the given associativity, in which
+// replacement behaviour is easy to hand-verify.
+func tiny(ways int) cache.Config { return cache.Config{Sets: 1, Ways: ways, LineSize: 64} }
+
+// seq builds a load-access sequence from block numbers (same set).
+func seq(blocks ...uint64) []trace.Access {
+	out := make([]trace.Access, len(blocks))
+	for i, b := range blocks {
+		out[i] = trace.Access{PC: 0x400000 + b*4, Addr: b * 64, Type: trace.Load}
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	names := policy.Names()
+	want := []string{"brrip", "drrip", "eva", "hawkeye", "kpc-r", "lru", "mru", "pdp", "random", "ship", "ship++", "srrip"}
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("registry missing %q (have %v)", w, names)
+		}
+	}
+	if _, err := policy.New("no-such-policy"); err == nil {
+		t.Error("New of unknown policy did not error")
+	}
+	p, err := policy.New("lru")
+	if err != nil || p.Name() != "lru" {
+		t.Errorf("New(lru) = %v, %v", p, err)
+	}
+}
+
+func TestRegistryInstancesAreFresh(t *testing.T) {
+	a := policy.MustNew("drrip")
+	b := policy.MustNew("drrip")
+	if a == b {
+		t.Error("registry returned the same instance twice")
+	}
+}
+
+func TestLRUClassicSequence(t *testing.T) {
+	// 2-way set: A B (fill) A (hit) C (evicts B, the LRU) B (evicts A)
+	// A (miss: was just evicted).
+	sim := cachesim.New(tiny(2), 1, policy.MustNew("lru"))
+	accesses := seq(0, 1, 0, 2, 1, 0)
+	wantHit := []bool{false, false, true, false, false, false}
+	for i, a := range accesses {
+		res := sim.Step(a)
+		if res.Hit != wantHit[i] {
+			t.Errorf("access %d (block %d): hit=%v, want %v", i, a.Addr/64, res.Hit, wantHit[i])
+		}
+	}
+}
+
+func TestLRUCyclicThrash(t *testing.T) {
+	// Cyclic access to ways+1 blocks: LRU gets zero hits (the classic
+	// pathological case), MRU keeps ways-1 of them resident.
+	var pattern []uint64
+	for rep := 0; rep < 50; rep++ {
+		for b := uint64(0); b < 5; b++ {
+			pattern = append(pattern, b)
+		}
+	}
+	lru := cachesim.RunPolicy(tiny(4), policy.MustNew("lru"), seq(pattern...))
+	if lru.Hits != 0 {
+		t.Errorf("LRU on cyclic thrash: %d hits, want 0", lru.Hits)
+	}
+	mru := cachesim.RunPolicy(tiny(4), policy.MustNew("mru"), seq(pattern...))
+	if mru.Hits == 0 {
+		t.Error("MRU on cyclic thrash: 0 hits, want > 0")
+	}
+}
+
+func TestSRRIPScanResistance(t *testing.T) {
+	// Hot blocks accessed in immediate-re-reference pairs (so they earn
+	// RRPV 0) plus two never-reused scan blocks per round. SRRIP keeps the
+	// hot blocks across rounds; LRU cycles 5 distinct blocks through a
+	// 4-way set and only ever gets the pair hits.
+	var accesses []trace.Access
+	scan := uint64(100)
+	for rep := 0; rep < 200; rep++ {
+		accesses = append(accesses, seq(0, 0, 1, 1, 2, 2)...)
+		for k := 0; k < 2; k++ {
+			accesses = append(accesses, seq(scan)...)
+			scan++
+		}
+	}
+	sr := cachesim.RunPolicy(tiny(4), policy.MustNew("srrip"), accesses)
+	lr := cachesim.RunPolicy(tiny(4), policy.MustNew("lru"), accesses)
+	if sr.Hits <= lr.Hits {
+		t.Errorf("SRRIP (%d hits) should beat LRU (%d hits) on scan-heavy mix", sr.Hits, lr.Hits)
+	}
+}
+
+func TestBRRIPThrashResistance(t *testing.T) {
+	// Cyclic thrash over 2× the cache: BRRIP's bimodal insertion retains a
+	// subset of the working set; SRRIP behaves like LRU-ish and gets ~0.
+	var pattern []uint64
+	for rep := 0; rep < 300; rep++ {
+		for b := uint64(0); b < 8; b++ {
+			pattern = append(pattern, b)
+		}
+	}
+	br := cachesim.RunPolicy(tiny(4), policy.MustNew("brrip"), seq(pattern...))
+	sr := cachesim.RunPolicy(tiny(4), policy.MustNew("srrip"), seq(pattern...))
+	if br.Hits <= sr.Hits {
+		t.Errorf("BRRIP (%d hits) should beat SRRIP (%d hits) on thrash", br.Hits, sr.Hits)
+	}
+}
+
+func TestDRRIPTracksBetterComponent(t *testing.T) {
+	// DRRIP must land near the better of SRRIP/BRRIP on both a
+	// thrash-heavy and a reuse-heavy pattern. Use a multi-set cache so
+	// leader sets exist.
+	cfg := cache.Config{Sets: 64, Ways: 4, LineSize: 64}
+	rng := xrand.New(9)
+
+	mkThrash := func() []trace.Access {
+		var out []trace.Access
+		for i := 0; i < 40000; i++ {
+			b := uint64(i % 512) // 2× cache capacity, cyclic
+			out = append(out, trace.Access{PC: 1, Addr: b * 64, Type: trace.Load})
+		}
+		return out
+	}
+	mkReuse := func() []trace.Access {
+		var out []trace.Access
+		for i := 0; i < 40000; i++ {
+			b := uint64(rng.Intn(192)) // fits in 256-line cache mostly
+			out = append(out, trace.Access{PC: 1, Addr: b * 64, Type: trace.Load})
+		}
+		return out
+	}
+
+	for name, mk := range map[string]func() []trace.Access{"thrash": mkThrash, "reuse": mkReuse} {
+		tr := mk()
+		dr := cachesim.RunPolicy(cfg, policy.MustNew("drrip"), tr)
+		sr := cachesim.RunPolicy(cfg, policy.MustNew("srrip"), tr)
+		br := cachesim.RunPolicy(cfg, policy.MustNew("brrip"), tr)
+		best := sr.Hits
+		if br.Hits > best {
+			best = br.Hits
+		}
+		// DRRIP pays a learning cost; require it within 25% of the better
+		// component and at least as good as the worse one.
+		worse := sr.Hits
+		if br.Hits < worse {
+			worse = br.Hits
+		}
+		if dr.Hits*4 < best*3 {
+			t.Errorf("%s: DRRIP hits %d too far below best component %d", name, dr.Hits, best)
+		}
+		if dr.Hits+dr.Hits/4 < worse {
+			t.Errorf("%s: DRRIP hits %d below worse component %d", name, dr.Hits, worse)
+		}
+	}
+}
+
+func TestSHiPLearnsDeadPC(t *testing.T) {
+	// Two PCs: one streams never-reused data, one loads a hot working set.
+	// After warm-up, SHiP must insert the streaming PC's lines at distant
+	// RRPV so they are evicted before the hot lines → more hits than SRRIP.
+	cfg := cache.Config{Sets: 16, Ways: 4, LineSize: 64}
+	var accesses []trace.Access
+	scan := uint64(1 << 20)
+	for rep := 0; rep < 500; rep++ {
+		for b := uint64(0); b < 32; b++ { // hot: half the cache, paired
+			a := trace.Access{PC: 0xAAA, Addr: b * 64, Type: trace.Load}
+			accesses = append(accesses, a, a)
+		}
+		for k := 0; k < 96; k++ { // cold scan from a single PC: 6 per set,
+			// enough aging passes for SRRIP to push hot lines to distant RRPV
+			accesses = append(accesses, trace.Access{PC: 0xBBB, Addr: scan * 64, Type: trace.Load})
+			scan++
+		}
+	}
+	sh := cachesim.RunPolicy(cfg, policy.MustNew("ship"), accesses)
+	sr := cachesim.RunPolicy(cfg, policy.MustNew("srrip"), accesses)
+	if sh.Hits <= sr.Hits {
+		t.Errorf("SHiP (%d hits) should beat SRRIP (%d hits) with a dead streaming PC", sh.Hits, sr.Hits)
+	}
+}
+
+func TestSHiPPPWritebackInsertion(t *testing.T) {
+	// SHiP++ inserts writeback fills at distant RRPV; a subsequent miss
+	// must evict the writeback line before a demand-hit-promoted line.
+	p := policy.MustNew("ship++")
+	sim := cachesim.New(tiny(2), 1, p)
+	// Demand line with reuse.
+	sim.Step(trace.Access{PC: 1, Addr: 0, Type: trace.Load})
+	sim.Step(trace.Access{PC: 1, Addr: 0, Type: trace.Load}) // promote
+	// Writeback fill into the other way.
+	sim.Step(trace.Access{Addr: 64, Type: trace.Writeback})
+	// New demand miss: the victim must be the writeback line (block 1).
+	res := sim.Step(trace.Access{PC: 2, Addr: 128, Type: trace.Load})
+	if !res.Evicted || res.Victim.Block != 1 {
+		t.Errorf("SHiP++ evicted block %d (evicted=%v), want writeback block 1", res.Victim.Block, res.Evicted)
+	}
+}
+
+func TestKPCRPrefetchInsertedDistant(t *testing.T) {
+	// A prefetch fill and a demand fill; next miss should evict the
+	// prefetched line first.
+	p := policy.MustNew("kpc-r")
+	sim := cachesim.New(tiny(2), 1, p)
+	sim.Step(trace.Access{PC: 1, Addr: 0, Type: trace.Load})
+	sim.Step(trace.Access{PC: 1, Addr: 0, Type: trace.Load}) // promote block 0
+	sim.Step(trace.Access{PC: 3, Addr: 64, Type: trace.Prefetch})
+	res := sim.Step(trace.Access{PC: 2, Addr: 128, Type: trace.Load})
+	if !res.Evicted || res.Victim.Block != 1 {
+		t.Errorf("KPC-R evicted block %d, want prefetched block 1", res.Victim.Block)
+	}
+}
+
+func TestKPCRConfidencePromotion(t *testing.T) {
+	kp := policy.NewKPCR()
+	kp.Confidence = func(addr uint64) bool { return true }
+	sim := cachesim.New(tiny(2), 1, kp)
+	sim.Step(trace.Access{PC: 3, Addr: 0, Type: trace.Prefetch})
+	sim.Step(trace.Access{PC: 3, Addr: 0, Type: trace.Prefetch}) // high-conf hit → full promote
+	sim.Step(trace.Access{PC: 1, Addr: 64, Type: trace.Load})
+	res := sim.Step(trace.Access{PC: 2, Addr: 128, Type: trace.Load})
+	// Block 0 was promoted to RRPV 0; the demand fill at RRPV 2 (block 1)
+	// must be evicted first.
+	if !res.Evicted || res.Victim.Block != 0 {
+		// With promotion, block 0 (rrpv 0) survives; victim should be block 1.
+		if res.Victim.Block != 1 {
+			t.Errorf("unexpected victim block %d", res.Victim.Block)
+		}
+	} else {
+		t.Errorf("high-confidence promoted prefetch was evicted first")
+	}
+}
+
+func TestPDPProtectsWithinDistance(t *testing.T) {
+	// Reuse distance 6 in an 4-way set (scan pushes LRU to zero hits).
+	// PDP should learn a PD >= 6 and protect the reused lines.
+	var accesses []trace.Access
+	scan := uint64(1000)
+	for rep := 0; rep < 60000; rep++ {
+		accesses = append(accesses, trace.Access{PC: 1, Addr: uint64(rep%3) * 64, Type: trace.Load})
+		accesses = append(accesses, trace.Access{PC: 2, Addr: scan * 64, Type: trace.Load})
+		scan++
+	}
+	pd := policy.NewPDP()
+	st := cachesim.RunPolicy(tiny(4), pd, accesses)
+	lr := cachesim.RunPolicy(tiny(4), policy.MustNew("lru"), accesses)
+	if st.Hits <= lr.Hits {
+		t.Errorf("PDP (%d hits) should beat LRU (%d hits) on fixed-distance reuse + scan", st.Hits, lr.Hits)
+	}
+}
+
+func TestPDPRecomputesPD(t *testing.T) {
+	pd := policy.NewPDP()
+	cfg := cache.Config{Sets: 4, Ways: 4, LineSize: 64}
+	sim := cachesim.New(cfg, 1, pd)
+	initial := pd.PD()
+	// Drive enough accesses with a stable reuse distance to trigger the
+	// periodic search.
+	for i := 0; i < 200000; i++ {
+		b := uint64(i % 24)
+		sim.Step(trace.Access{PC: 1, Addr: b * 64, Type: trace.Load})
+	}
+	if pd.PD() == initial {
+		t.Logf("PD unchanged at %d (allowed, but suspicious)", pd.PD())
+	}
+	if pd.PD() == 0 || pd.PD() >= 256 {
+		t.Errorf("recomputed PD = %d out of range", pd.PD())
+	}
+}
+
+func TestEVASmokeAndAging(t *testing.T) {
+	// EVA must run a long mixed workload without degenerating (hits > 0)
+	// and must not crash across re-solves.
+	rng := xrand.New(17)
+	cfg := cache.Config{Sets: 16, Ways: 4, LineSize: 64}
+	var accesses []trace.Access
+	for i := 0; i < 300000; i++ {
+		b := uint64(rng.Geometric(0.02)) // skewed working set
+		accesses = append(accesses, trace.Access{PC: 1, Addr: b * 64, Type: trace.Load})
+	}
+	st := cachesim.RunPolicy(cfg, policy.MustNew("eva"), accesses)
+	if st.Hits == 0 {
+		t.Error("EVA produced zero hits on a skewed workload")
+	}
+	lr := cachesim.RunPolicy(cfg, policy.MustNew("lru"), accesses)
+	if float64(st.Hits) < 0.7*float64(lr.Hits) {
+		t.Errorf("EVA hits %d collapsed versus LRU %d", st.Hits, lr.Hits)
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	mk := func() cachesim.Stats {
+		return cachesim.RunPolicy(tiny(4), policy.NewRandom(42), seq(
+			0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5,
+		))
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Errorf("Random policy not deterministic: %+v vs %+v", a, b)
+	}
+}

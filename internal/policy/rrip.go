@@ -1,0 +1,203 @@
+package policy
+
+import (
+	"repro/internal/cache"
+	"repro/internal/xrand"
+)
+
+func init() {
+	Register("srrip", func() Policy { return NewSRRIP() })
+	Register("brrip", func() Policy { return NewBRRIP(2) })
+	Register("drrip", func() Policy { return NewDRRIP(3) })
+}
+
+// rripBits is the RRPV counter width used by the RRIP family (2 bits, as in
+// Jaleel et al. and the CRC2 baselines; 8KB for a 2MB 16-way LLC, Table I).
+const rripBits = 2
+
+// rripMax is the distant re-reference prediction value (3 for 2-bit RRPVs).
+const rripMax = (1 << rripBits) - 1
+
+// rripState holds per-line RRPVs for one cache.
+type rripState struct {
+	rrpv [][]uint8 // [set][way]
+}
+
+func newRRIPState(cfg Config) rripState {
+	s := rripState{rrpv: make([][]uint8, cfg.Sets)}
+	for i := range s.rrpv {
+		row := make([]uint8, cfg.Ways)
+		for w := range row {
+			row[w] = rripMax
+		}
+		s.rrpv[i] = row
+	}
+	return s
+}
+
+// victim returns the way with RRPV == max, aging the whole set until one
+// exists (the standard SRRIP victim search). Ties break toward way 0.
+func (s *rripState) victim(setIdx uint32) int {
+	row := s.rrpv[setIdx]
+	for {
+		for w := range row {
+			if row[w] == rripMax {
+				return w
+			}
+		}
+		for w := range row {
+			row[w]++
+		}
+	}
+}
+
+// SRRIP is Static RRIP: insert at RRPV=2 (long re-reference interval),
+// promote to 0 on hit.
+type SRRIP struct {
+	st rripState
+}
+
+// NewSRRIP returns a new SRRIP policy.
+func NewSRRIP() *SRRIP { return &SRRIP{} }
+
+// Name implements Policy.
+func (*SRRIP) Name() string { return "srrip" }
+
+// Init implements Policy.
+func (p *SRRIP) Init(cfg Config) { p.st = newRRIPState(cfg) }
+
+// Victim implements Policy.
+func (p *SRRIP) Victim(ctx AccessCtx, _ *cache.Set) int { return p.st.victim(ctx.SetIdx) }
+
+// Update implements Policy.
+func (p *SRRIP) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
+	if hit {
+		p.st.rrpv[ctx.SetIdx][way] = 0
+		return
+	}
+	p.st.rrpv[ctx.SetIdx][way] = rripMax - 1
+}
+
+// BRRIP is Bimodal RRIP: insert at RRPV=3 most of the time, RRPV=2 with low
+// probability (1/32), protecting the cache from scans.
+type BRRIP struct {
+	st  rripState
+	rng *xrand.Rand
+}
+
+// NewBRRIP returns a BRRIP policy with a deterministic insertion-dither
+// stream derived from seed.
+func NewBRRIP(seed uint64) *BRRIP { return &BRRIP{rng: xrand.New(seed)} }
+
+// Name implements Policy.
+func (*BRRIP) Name() string { return "brrip" }
+
+// Init implements Policy.
+func (p *BRRIP) Init(cfg Config) {
+	p.st = newRRIPState(cfg)
+	if p.rng == nil {
+		p.rng = xrand.New(2)
+	}
+}
+
+// Victim implements Policy.
+func (p *BRRIP) Victim(ctx AccessCtx, _ *cache.Set) int { return p.st.victim(ctx.SetIdx) }
+
+// Update implements Policy.
+func (p *BRRIP) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
+	if hit {
+		p.st.rrpv[ctx.SetIdx][way] = 0
+		return
+	}
+	if p.rng.Intn(32) == 0 {
+		p.st.rrpv[ctx.SetIdx][way] = rripMax - 1
+	} else {
+		p.st.rrpv[ctx.SetIdx][way] = rripMax
+	}
+}
+
+// DRRIP is Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion with
+// a 10-bit policy-selection counter (Jaleel et al. [12]).
+type DRRIP struct {
+	st      rripState
+	rng     *xrand.Rand
+	psel    int // saturating in [0, pselMax]
+	setMask uint32
+}
+
+const (
+	pselMax   = 1023 // 10-bit PSEL
+	pselInit  = pselMax / 2
+	duelGroup = 64 // leader sets: one SRRIP + one BRRIP leader per 64 sets
+)
+
+// NewDRRIP returns a DRRIP policy seeded for its BRRIP dither stream.
+func NewDRRIP(seed uint64) *DRRIP { return &DRRIP{rng: xrand.New(seed)} }
+
+// Name implements Policy.
+func (*DRRIP) Name() string { return "drrip" }
+
+// Init implements Policy.
+func (p *DRRIP) Init(cfg Config) {
+	p.st = newRRIPState(cfg)
+	if p.rng == nil {
+		p.rng = xrand.New(3)
+	}
+	p.psel = pselInit
+	p.setMask = uint32(duelGroup - 1)
+	if cfg.Sets < duelGroup {
+		p.setMask = uint32(cfg.Sets - 1)
+	}
+}
+
+// leader classifies a set: +1 = SRRIP leader, -1 = BRRIP leader, 0 follower.
+func (p *DRRIP) leader(setIdx uint32) int {
+	switch setIdx & p.setMask {
+	case 0:
+		return +1
+	case p.setMask / 2:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Victim implements Policy.
+func (p *DRRIP) Victim(ctx AccessCtx, _ *cache.Set) int { return p.st.victim(ctx.SetIdx) }
+
+// Update implements Policy.
+func (p *DRRIP) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
+	if hit {
+		p.st.rrpv[ctx.SetIdx][way] = 0
+		return
+	}
+	// A miss in a leader set votes against that leader's policy.
+	switch p.leader(ctx.SetIdx) {
+	case +1: // SRRIP leader missed → favour BRRIP
+		if p.psel < pselMax {
+			p.psel++
+		}
+	case -1: // BRRIP leader missed → favour SRRIP
+		if p.psel > 0 {
+			p.psel--
+		}
+	}
+	useBRRIP := false
+	switch p.leader(ctx.SetIdx) {
+	case +1:
+		useBRRIP = false
+	case -1:
+		useBRRIP = true
+	default:
+		useBRRIP = p.psel > pselInit
+	}
+	if useBRRIP {
+		if p.rng.Intn(32) == 0 {
+			p.st.rrpv[ctx.SetIdx][way] = rripMax - 1
+		} else {
+			p.st.rrpv[ctx.SetIdx][way] = rripMax
+		}
+	} else {
+		p.st.rrpv[ctx.SetIdx][way] = rripMax - 1
+	}
+}

@@ -1,0 +1,257 @@
+package rl
+
+import (
+	"io"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/nn"
+	"repro/internal/policy"
+	"repro/internal/xrand"
+)
+
+// AgentConfig holds the RL hyperparameters of §III-A.
+type AgentConfig struct {
+	Hidden       int     // hidden-layer width (175 in the paper)
+	Epsilon      float64 // ε-greedy exploration rate (0.1)
+	Gamma        float64 // discount; the Belady reward is immediate, so 0 by default
+	LearningRate float64 // Adam step size
+	BatchSize    int     // replay minibatch size
+	ReplayCap    int     // replay memory entries
+	MinReplay    int     // decisions before training starts
+	TrainEvery   int     // decisions between minibatch updates
+	TargetSync   int     // decisions between target-network syncs
+	Seed         uint64
+	Features     FeatureSet
+}
+
+// DefaultAgentConfig returns the paper's configuration scaled for this
+// repository's compute budget: the 175-neuron hidden layer, tanh/linear
+// activations, ε = 0.1, experience replay, and a periodically synced
+// target network.
+func DefaultAgentConfig() AgentConfig {
+	return AgentConfig{
+		Hidden:       175,
+		Epsilon:      0.1,
+		Gamma:        0,
+		LearningRate: 1e-3,
+		BatchSize:    32,
+		ReplayCap:    4096,
+		MinReplay:    256,
+		TrainEvery:   4,
+		TargetSync:   512,
+		Seed:         1,
+		Features:     AllFeatures(),
+	}
+}
+
+// Agent is the §III-A RL agent: a policy.Policy whose Victim decision is
+// the ε-greedy argmax of an MLP scoring each way of the accessed set, and
+// which trains itself online against the Belady-aligned reward when a
+// future-knowledge oracle is attached.
+type Agent struct {
+	cfg  AgentConfig
+	pcfg policy.Config
+	feat *Featurizer
+
+	q, tgt *nn.MLP
+	replay *Replay
+	rng    *xrand.Rand
+
+	sim      *cachesim.Simulator
+	oracle   *policy.Oracle
+	training bool
+
+	pending   *Transition
+	decisions uint64
+
+	state  []float64
+	target []float64
+	batch  []Transition
+
+	// VictimObserver, when set, is called for each eviction decision with
+	// the chosen way and that line's metadata — the Figure 5/6/7 feeds.
+	VictimObserver func(ctx policy.AccessCtx, set *cache.Set, way int)
+}
+
+// NewAgent builds an agent. Attach an oracle (SetOracle) and enable
+// training (SetTraining) to learn; otherwise it acts greedily with its
+// current weights.
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.Hidden <= 0 {
+		panic("rl: agent needs a positive hidden width")
+	}
+	if cfg.BatchSize <= 0 || cfg.ReplayCap <= 0 {
+		panic("rl: agent needs positive batch and replay sizes")
+	}
+	return &Agent{
+		cfg:    cfg,
+		rng:    xrand.New(cfg.Seed ^ 0xA6EA7),
+		replay: NewReplay(cfg.ReplayCap),
+	}
+}
+
+// SetSim attaches the simulator whose address history provides the
+// access-preuse feature. Call after cachesim.New.
+func (a *Agent) SetSim(sim *cachesim.Simulator) { a.sim = sim }
+
+// SetOracle attaches future knowledge for reward computation.
+func (a *Agent) SetOracle(o *policy.Oracle) { a.oracle = o }
+
+// SetTraining toggles learning (and ε-greedy exploration).
+func (a *Agent) SetTraining(on bool) { a.training = on }
+
+// Network returns the online Q-network (heat-map analysis reads it).
+func (a *Agent) Network() *nn.MLP { return a.q }
+
+// Featurizer returns the agent's featurizer (for slot mapping).
+func (a *Agent) Featurizer() *Featurizer { return a.feat }
+
+// SaveModel writes the online network to w.
+func (a *Agent) SaveModel(w io.Writer) error { return a.q.Save(w) }
+
+// LoadModel replaces the online and target networks with the model from r.
+// The agent must already be Init-ed against a matching geometry.
+func (a *Agent) LoadModel(r io.Reader) error {
+	m, err := nn.Load(r)
+	if err != nil {
+		return err
+	}
+	a.q = m
+	a.tgt.CopyWeightsFrom(m)
+	return nil
+}
+
+// Name implements policy.Policy.
+func (*Agent) Name() string { return "rl" }
+
+// Init implements policy.Policy. Re-initialization against the same
+// geometry preserves learned weights, so one agent can train across
+// multiple simulator instances (epochs).
+func (a *Agent) Init(cfg policy.Config) {
+	a.pcfg = cfg
+	a.feat = NewFeaturizer(cfg, a.cfg.Features)
+	size := a.feat.VectorSize()
+	if a.q == nil || a.q.InputSize() != size || a.q.OutputSize() != cfg.Ways {
+		a.q = nn.NewMLP(size, a.cfg.Seed,
+			nn.LayerSpec{Units: a.cfg.Hidden, Act: nn.Tanh},
+			nn.LayerSpec{Units: cfg.Ways, Act: nn.Linear})
+		a.tgt = nn.NewMLP(size, a.cfg.Seed,
+			nn.LayerSpec{Units: a.cfg.Hidden, Act: nn.Tanh},
+			nn.LayerSpec{Units: cfg.Ways, Act: nn.Linear})
+		a.tgt.CopyWeightsFrom(a.q)
+	}
+	a.state = make([]float64, size)
+	a.target = make([]float64, cfg.Ways)
+	a.pending = nil
+	a.sim = nil
+}
+
+// Victim implements policy.Policy: ε-greedy argmax over the network's
+// per-way quality estimates, with reward generation and replay/training on
+// the side when learning is enabled.
+func (a *Agent) Victim(ctx policy.AccessCtx, set *cache.Set) int {
+	preuse := uint64(cachesim.NeverAccessed)
+	if a.sim != nil {
+		preuse = a.sim.AccessPreuse(ctx.Addr)
+	}
+	a.feat.Build(a.state, ctx, set, preuse)
+
+	qv := a.q.Forward(a.state)
+	action := argmax(qv)
+	if a.training && a.rng.Float64() < a.cfg.Epsilon {
+		action = a.rng.Intn(a.pcfg.Ways)
+	}
+
+	if a.VictimObserver != nil {
+		a.VictimObserver(ctx, set, action)
+	}
+
+	if a.training && a.oracle != nil {
+		state := append([]float64(nil), a.state...)
+		if a.pending != nil {
+			a.pending.NextState = state
+			a.replay.Push(*a.pending)
+		}
+		a.pending = &Transition{
+			State:  state,
+			Action: action,
+			Reward: a.reward(ctx, set, action),
+		}
+		a.decisions++
+		if a.replay.Len() >= a.cfg.MinReplay && a.decisions%uint64(a.cfg.TrainEvery) == 0 {
+			a.trainStep()
+		}
+		if a.decisions%uint64(a.cfg.TargetSync) == 0 {
+			a.tgt.CopyWeightsFrom(a.q)
+		}
+	}
+	return action
+}
+
+// Update implements policy.Policy; all agent logic runs at decision time.
+func (*Agent) Update(policy.AccessCtx, *cache.Set, int, bool) {}
+
+// reward implements the §III-A reward: +1 for evicting the line with the
+// farthest reuse distance (the Belady decision), −1 for evicting a line
+// that would be reused sooner than the inserted one, 0 otherwise.
+func (a *Agent) reward(ctx policy.AccessCtx, set *cache.Set, action int) float64 {
+	farthest := uint64(0)
+	for w := range set.Lines {
+		nu := a.oracle.NextUseBlock(set.Lines[w].Block, ctx.Seq)
+		if nu > farthest {
+			farthest = nu
+		}
+	}
+	evictedNU := a.oracle.NextUseBlock(set.Lines[action].Block, ctx.Seq)
+	if evictedNU == farthest {
+		return 1
+	}
+	if evictedNU < a.oracle.NextUse(ctx.Addr, ctx.Seq) {
+		return -1
+	}
+	return 0
+}
+
+// trainStep runs one minibatch DQN update.
+func (a *Agent) trainStep() {
+	a.batch = a.replay.Sample(a.batch, a.cfg.BatchSize, a.rng)
+	a.q.ZeroGrad()
+	for _, tr := range a.batch {
+		y := tr.Reward
+		if a.cfg.Gamma > 0 && tr.NextState != nil {
+			y += a.cfg.Gamma * maxOf(a.tgt.Forward(tr.NextState))
+		}
+		a.q.Forward(tr.State)
+		for i := range a.target {
+			a.target[i] = math.NaN()
+		}
+		a.target[tr.Action] = y
+		a.q.Backward(a.target)
+	}
+	a.q.AdamStep(a.cfg.LearningRate, len(a.batch))
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// compile-time interface check
+var _ policy.Policy = (*Agent)(nil)

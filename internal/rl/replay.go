@@ -1,0 +1,61 @@
+package rl
+
+import "repro/internal/xrand"
+
+// Transition is one replacement decision stored for experience replay
+// (§III-A): ⟨state, action, next state, reward⟩.
+type Transition struct {
+	State     []float64
+	Action    int
+	Reward    float64
+	NextState []float64 // nil while pending / for terminal transitions
+}
+
+// Replay is the bounded circular replay memory: the oldest transaction is
+// overwritten by a new one, and training samples batches uniformly at
+// random, breaking the similarity of subsequent samples.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay returns a replay memory of the given capacity.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		panic("rl: replay capacity must be positive")
+	}
+	return &Replay{buf: make([]Transition, capacity)}
+}
+
+// Push stores a transition, overwriting the oldest when full.
+func (r *Replay) Push(t Transition) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Sample draws n transitions uniformly at random (with replacement) into
+// dst, which it returns resized. It panics if the memory is empty.
+func (r *Replay) Sample(dst []Transition, n int, rng *xrand.Rand) []Transition {
+	m := r.Len()
+	if m == 0 {
+		panic("rl: sampling from empty replay memory")
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.buf[rng.Intn(m)])
+	}
+	return dst
+}

@@ -1,0 +1,78 @@
+package rl
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// TrainOptions configures a training run over one LLC access trace.
+type TrainOptions struct {
+	Agent  AgentConfig
+	Epochs int // replay passes over the trace (experience replay lets each pass reuse old experience)
+}
+
+// DefaultTrainOptions returns a compute-scaled training setup.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Agent: DefaultAgentConfig(), Epochs: 2}
+}
+
+// Train teaches a fresh agent on the given LLC access trace replayed
+// against a cache of geometry cfg, returning the trained agent. The reward
+// oracle is built from the same trace, exactly as the paper's Python
+// framework does.
+func Train(cfg cache.Config, accesses []trace.Access, opts TrainOptions) *Agent {
+	agent := NewAgent(opts.Agent)
+	oracle := policy.NewOracle(accesses, cfg.LineSize)
+	agent.SetOracle(oracle)
+	agent.SetTraining(true)
+	epochs := opts.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	for e := 0; e < epochs; e++ {
+		sim := cachesim.New(cfg, 1, agent)
+		agent.SetSim(sim)
+		sim.Run(accesses)
+	}
+	agent.SetTraining(false)
+	return agent
+}
+
+// Evaluate replays accesses against a fresh cache under the agent's greedy
+// policy (no exploration, no learning) and returns the statistics.
+func Evaluate(cfg cache.Config, agent *Agent, accesses []trace.Access) cachesim.Stats {
+	agent.SetTraining(false)
+	sim := cachesim.New(cfg, 1, agent)
+	agent.SetSim(sim)
+	return sim.Run(accesses)
+}
+
+// TrainSharded trains an n-way sharded agent (§III-A's multiple-agents
+// option) on one LLC access trace and returns it ready for evaluation.
+func TrainSharded(cfg cache.Config, n int, accesses []trace.Access, opts TrainOptions) *Sharded {
+	sh := NewSharded(n, opts.Agent)
+	oracle := policy.NewOracle(accesses, cfg.LineSize)
+	sh.SetOracle(oracle)
+	sh.SetTraining(true)
+	epochs := opts.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	for e := 0; e < epochs; e++ {
+		sim := cachesim.New(cfg, 1, sh)
+		sh.SetSim(sim)
+		sim.Run(accesses)
+	}
+	sh.SetTraining(false)
+	return sh
+}
+
+// EvaluateSharded replays accesses under a greedy sharded agent.
+func EvaluateSharded(cfg cache.Config, sh *Sharded, accesses []trace.Access) cachesim.Stats {
+	sh.SetTraining(false)
+	sim := cachesim.New(cfg, 1, sh)
+	sh.SetSim(sim)
+	return sim.Run(accesses)
+}

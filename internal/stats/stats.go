@@ -1,0 +1,122 @@
+// Package stats implements the performance metrics of §V-A: per-benchmark
+// IPC speedup over LRU, geometric-mean aggregation (including the 4-core
+// mix formula), and demand MPKI, plus small text-table helpers used by the
+// experiment harness and the cmd binaries.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mathx"
+)
+
+// SpeedupPct converts an IPC ratio into the percentage the paper's figures
+// plot: (ipc / baseIPC − 1) × 100.
+func SpeedupPct(ipc, baseIPC float64) float64 {
+	if baseIPC == 0 {
+		return 0
+	}
+	return (ipc/baseIPC - 1) * 100
+}
+
+// GeoMeanSpeedupPct aggregates per-benchmark IPC ratios (ipc/ipcLRU) into
+// the overall percentage of Table IV: (geomean(ratios) − 1) × 100.
+func GeoMeanSpeedupPct(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	return (mathx.GeoMean(ratios) - 1) * 100
+}
+
+// MixSpeedup computes one 4-core workload mix's performance versus LRU:
+// the geometric mean over cores of IPC_i / IPC_i,LRU (§V-A).
+func MixSpeedup(ipc, ipcLRU []float64) float64 {
+	if len(ipc) != len(ipcLRU) || len(ipc) == 0 {
+		panic("stats: MixSpeedup needs matching non-empty IPC slices")
+	}
+	ratios := make([]float64, len(ipc))
+	for i := range ipc {
+		if ipcLRU[i] == 0 {
+			panic("stats: zero baseline IPC")
+		}
+		ratios[i] = ipc[i] / ipcLRU[i]
+	}
+	return mathx.GeoMean(ratios)
+}
+
+// MPKI converts a miss count over an instruction count into misses per
+// kilo-instruction.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(misses) / float64(instructions)
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for the simulator's cell contents).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pct formats a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }

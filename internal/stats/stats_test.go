@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpeedupPct(t *testing.T) {
+	if got := SpeedupPct(1.1, 1.0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("SpeedupPct = %v, want 10", got)
+	}
+	if got := SpeedupPct(0.9, 1.0); math.Abs(got+10) > 1e-9 {
+		t.Errorf("SpeedupPct = %v, want -10", got)
+	}
+	if got := SpeedupPct(1, 0); got != 0 {
+		t.Errorf("zero baseline = %v, want 0", got)
+	}
+}
+
+func TestGeoMeanSpeedupPct(t *testing.T) {
+	// Ratios 1.21 and 1.0 → geomean 1.1 → 10%.
+	got := GeoMeanSpeedupPct([]float64{1.21, 1.0})
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMeanSpeedupPct = %v, want 10", got)
+	}
+	if GeoMeanSpeedupPct(nil) != 0 {
+		t.Error("empty ratios should give 0")
+	}
+}
+
+func TestMixSpeedup(t *testing.T) {
+	// (1.21 × 1.0 × 1.0 × 1.0)^(1/4) with pairwise ratios.
+	got := MixSpeedup([]float64{1.21, 2, 3, 4}, []float64{1, 2, 3, 4})
+	want := math.Pow(1.21, 0.25)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MixSpeedup = %v, want %v", got, want)
+	}
+}
+
+func TestMixSpeedupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched slices did not panic")
+		}
+	}()
+	MixSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(5000, 1_000_000); got != 5 {
+		t.Errorf("MPKI = %v, want 5", got)
+	}
+	if MPKI(1, 0) != 0 {
+		t.Error("zero instructions should give 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"bench", "speedup"}}
+	tb.AddRow("429.mcf", Pct(3.25))
+	tb.AddRow("470.lbm", Pct(-1.5))
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "3.25%") {
+		t.Errorf("rendered table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "bench,speedup\n") || !strings.Contains(csv, "429.mcf,3.25%") {
+		t.Errorf("CSV malformed:\n%s", csv)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// TestAccessReaderNeverPanicsOnGarbage: arbitrary bytes after a valid
+// header must produce records or an error — never a panic or an infinite
+// loop.
+func TestAccessReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		buf.WriteString("RLRA1\n")
+		buf.Write(payload)
+		r, err := NewAccessReader(&buf)
+		if err != nil {
+			return true
+		}
+		for i := 0; i <= len(payload); i++ {
+			if _, err := r.Read(); err != nil {
+				return true // terminated with an error: fine
+			}
+		}
+		// Every record consumes at least one byte, so we cannot read more
+		// records than payload bytes.
+		_, err = r.Read()
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInstrReaderNeverPanicsOnGarbage mirrors the access-trace fuzzing for
+// the instruction format.
+func TestInstrReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		buf.WriteString("RLRI1\n")
+		buf.Write(payload)
+		r, err := NewInstrReader(&buf)
+		if err != nil {
+			return true
+		}
+		for i := 0; i <= len(payload); i++ {
+			if _, err := r.Read(); err != nil {
+				return true
+			}
+		}
+		_, err = r.Read()
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReaderErrorsAreSticky: after a read error the reader must keep
+// returning an error rather than resynchronizing on garbage.
+func TestReaderErrorsAreSticky(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("RLRA1\n")
+	buf.WriteByte(0xFC) // invalid type bits
+	buf.WriteByte(1)
+	buf.WriteByte(1)
+	r, err := NewAccessReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err1 := r.Read()
+	_, err2 := r.Read()
+	if err1 == nil || err2 == nil {
+		t.Fatal("corrupt reads succeeded")
+	}
+	if err2 != err1 && err2 != io.EOF {
+		t.Errorf("error not sticky: first %v, then %v", err1, err2)
+	}
+}
+
+func TestInstrDependentLoadRoundTrip(t *testing.T) {
+	in := []Instr{
+		{PC: 0x400000, Kind: MemLoadDep, Addr: 0x8000},
+		{PC: 0x400004, Kind: MemLoad, Addr: 0x8040},
+	}
+	var buf bytes.Buffer
+	w := NewInstrWriter(&buf)
+	for _, i := range in {
+		if err := w.Write(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewInstrReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Errorf("round trip mismatch: %v vs %v", out, in)
+	}
+}

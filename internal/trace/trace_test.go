@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessTypeString(t *testing.T) {
+	cases := map[AccessType]string{
+		Load: "LD", RFO: "RFO", Prefetch: "PF", Writeback: "WB",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := AccessType(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+func TestIsDemand(t *testing.T) {
+	if !Load.IsDemand() || !RFO.IsDemand() {
+		t.Error("Load/RFO should be demand accesses")
+	}
+	if Prefetch.IsDemand() || Writeback.IsDemand() {
+		t.Error("Prefetch/Writeback should not be demand accesses")
+	}
+}
+
+func TestAccessRoundTrip(t *testing.T) {
+	in := []Access{
+		{PC: 0x400123, Addr: 0x7fff0040, Type: Load, Core: 0},
+		{PC: 0x400127, Addr: 0x7fff0080, Type: RFO, Core: 1},
+		{PC: 0, Addr: 0xdead0000, Type: Writeback, Core: 3},
+		{PC: 0x400200, Addr: 0x10000, Type: Prefetch, Core: 2},
+		{PC: 1<<63 + 5, Addr: 1<<62 + 7, Type: Load, Core: 0},
+	}
+	var buf bytes.Buffer
+	w := NewAccessWriter(&buf)
+	for _, a := range in {
+		if err := w.Write(a); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r, err := NewAccessReader(&buf)
+	if err != nil {
+		t.Fatalf("NewAccessReader: %v", err)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %v\nout: %v", in, out)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("Read after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestAccessEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAccessWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r, err := NewAccessReader(&buf)
+	if err != nil {
+		t.Fatalf("NewAccessReader: %v", err)
+	}
+	out, err := r.ReadAll()
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty trace: got %v records, err %v", len(out), err)
+	}
+}
+
+func TestAccessBadMagic(t *testing.T) {
+	_, err := NewAccessReader(strings.NewReader("NOTATRACE!"))
+	if err != ErrBadMagic {
+		t.Errorf("bad magic error = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestAccessTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAccessWriter(&buf)
+	if err := w.Write(Access{PC: 1 << 40, Addr: 1 << 40, Type: Load}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	trunc := full[:len(full)-2]
+	r, err := NewAccessReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Error("truncated record read succeeded, want error")
+	}
+}
+
+func TestAccessCorruptType(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("RLRA1\n")
+	buf.WriteByte(0xFF) // type 63 — invalid
+	buf.WriteByte(0)
+	buf.WriteByte(0)
+	r, err := NewAccessReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Error("corrupt type read succeeded, want error")
+	}
+}
+
+func TestInstrRoundTrip(t *testing.T) {
+	in := []Instr{
+		{PC: 0x400000, Kind: MemNone},
+		{PC: 0x400004, Kind: MemLoad, Addr: 0x1000},
+		{PC: 0x400008, Kind: MemStore, Addr: 0x2040},
+		{PC: 0x3ff000, Kind: MemNone}, // backwards branch → negative delta
+		{PC: 0x400100, Kind: MemLoad, Addr: 1 << 50},
+	}
+	var buf bytes.Buffer
+	w := NewInstrWriter(&buf)
+	for _, ins := range in {
+		if err := w.Write(ins); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewInstrReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %v\nout: %v", in, out)
+	}
+}
+
+func TestInstrEmptyAndBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewInstrWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewInstrReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := r.ReadAll(); err != nil || len(out) != 0 {
+		t.Errorf("empty instr trace: %v records, err %v", len(out), err)
+	}
+	if _, err := NewInstrReader(strings.NewReader("RLRA1\nxxxx")); err != ErrBadMagic {
+		t.Errorf("instr reader on access trace = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestInstrCorruptKind(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("RLRI1\n")
+	buf.WriteByte(7) // invalid kind
+	buf.WriteByte(0)
+	r, err := NewInstrReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Error("corrupt kind read succeeded, want error")
+	}
+}
+
+func TestAccessRoundTripProperty(t *testing.T) {
+	f := func(pcs, addrs []uint64, types []uint8) bool {
+		n := len(pcs)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(types) < n {
+			n = len(types)
+		}
+		in := make([]Access, n)
+		for i := 0; i < n; i++ {
+			in[i] = Access{
+				PC:   pcs[i],
+				Addr: addrs[i],
+				Type: AccessType(types[i] % 4),
+				Core: types[i] % 4 & 0x3,
+			}
+		}
+		var buf bytes.Buffer
+		w := NewAccessWriter(&buf)
+		for _, a := range in {
+			if err := w.Write(a); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewAccessReader(&buf)
+		if err != nil {
+			return false
+		}
+		out, err := r.ReadAll()
+		if err != nil {
+			return false
+		}
+		if len(out) == 0 && n == 0 {
+			return true
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package uarch
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// TestWritebackCascade: dirtying lines in L1 and then thrashing them out
+// must surface WB accesses at the LLC (the §III-A writeback traffic).
+func TestWritebackCascade(t *testing.T) {
+	cfg := DefaultConfig(1)
+	h := NewHierarchy(cfg, nil)
+	var wb int
+	h.SetLLCObserver(func(a trace.Access, hit bool) {
+		if a.Type == trace.Writeback {
+			wb++
+		}
+	})
+	// Dirty a large region (stores), then stream far past it so the dirty
+	// lines are evicted from L1 → L2 → eventually from L2 → LLC WB.
+	now := uint64(0)
+	for b := uint64(0); b < 16384; b++ {
+		now = h.AccessData(0, 0x400, b*64, true, now)
+	}
+	for b := uint64(1 << 20); b < 1<<20+16384; b++ {
+		now = h.AccessData(0, 0x404, b*64, false, now)
+	}
+	if wb == 0 {
+		t.Error("no writebacks reached the LLC after dirty-evict churn")
+	}
+}
+
+// TestMSHRMergesInflightMisses: two back-to-back accesses to the same
+// missing block must not both pay the full DRAM latency.
+func TestMSHRMergesInflightMisses(t *testing.T) {
+	cfg := DefaultConfig(1)
+	h := NewHierarchy(cfg, nil)
+	addr := uint64(0xABC0000)
+	done1 := h.accessL2(0, 1, addr, trace.Load, 0)
+	// Second L2 access at time 1 while the first is in flight: the MSHR
+	// entry must return (roughly) the same completion time.
+	done2 := h.accessL2(0, 1, addr, trace.Load, 1)
+	if done2 > done1 {
+		t.Errorf("merged miss completes at %d, after the original %d", done2, done1)
+	}
+	if done1 < cfg.DRAMLatency {
+		t.Errorf("first miss completed in %d cycles, below DRAM latency %d", done1, cfg.DRAMLatency)
+	}
+}
+
+// TestHitLatencies: an L1 hit costs L1 latency; an L2 hit costs L1+L2.
+func TestHitLatencies(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.L1NextLine = false
+	cfg.L2Prefetcher = "none"
+	h := NewHierarchy(cfg, nil)
+	addr := uint64(0x5000)
+	h.AccessData(0, 1, addr, false, 0) // miss: fills all levels
+	start := uint64(1000)
+	if got := h.AccessData(0, 1, addr, false, start); got != start+cfg.L1DLatency {
+		t.Errorf("L1 hit latency = %d, want %d", got-start, cfg.L1DLatency)
+	}
+	// Evict from L1 only: fill 9 conflicting blocks (L1 has 64 sets ⇒
+	// stride 64×64 bytes aliases set 0 but not L2's 512 sets… use enough
+	// conflicting blocks for both L1 sets and probe).
+	h.l1d[0].c.Invalidate(addr)
+	if got := h.AccessData(0, 1, addr, false, start); got != start+cfg.L1DLatency+cfg.L2Latency {
+		t.Errorf("L2 hit latency = %d, want %d", got-start, cfg.L1DLatency+cfg.L2Latency)
+	}
+}
+
+// TestPrefetchDoesNotChargeCore: issuing prefetches must not change the
+// demand access's completion time directly (they run off the critical
+// path).
+func TestPrefetchDoesNotChargeCore(t *testing.T) {
+	with := DefaultConfig(1)
+	without := DefaultConfig(1)
+	without.L1NextLine = false
+	without.L2Prefetcher = "none"
+	a := NewHierarchy(with, nil)
+	b := NewHierarchy(without, nil)
+	// First-touch miss: identical latency with and without prefetchers.
+	da := a.AccessData(0, 1, 0x9000, false, 0)
+	db := b.AccessData(0, 1, 0x9000, false, 0)
+	if da != db {
+		t.Errorf("prefetcher changed demand completion: %d vs %d", da, db)
+	}
+}
+
+// TestScaledConfigShrinks: the scaled config must preserve associativity
+// and latency while dividing sets.
+func TestScaledConfigShrinks(t *testing.T) {
+	base := DefaultConfig(1)
+	s := ScaledConfig(1, 4)
+	if s.LLC.Sets != base.LLC.Sets/4 || s.LLC.Ways != base.LLC.Ways {
+		t.Errorf("scaled LLC = %+v", s.LLC)
+	}
+	if s.LLCLatency != base.LLCLatency {
+		t.Error("scaling changed latency")
+	}
+	if ScaledConfig(1, 1).LLC.Sets != base.LLC.Sets {
+		t.Error("factor 1 should be identity")
+	}
+}
+
+// TestKPCPPollutionGate: low-confidence prefetches must reach the LLC but
+// not L2.
+func TestKPCPPollutionGate(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.L2Prefetcher = "kpc-p"
+	cfg.L1NextLine = false
+	h := NewHierarchy(cfg, nil)
+	kp := h.KPCPFor(0)
+	if kp == nil {
+		t.Fatal("KPC-P not wired")
+	}
+	// Train a weak stride (3 accesses → conf 2, below the L2 threshold).
+	base := uint64(0x100000)
+	now := uint64(0)
+	for i := uint64(0); i < 4; i++ {
+		now = h.AccessData(0, 0x777, base+i*128, false, now)
+	}
+	// Find a prefetched block: the next stride targets.
+	pfAddr := base + 5*128
+	_, _, inLLC := h.llc.c.Probe(pfAddr)
+	_, _, inL2 := h.l2[0].c.Probe(pfAddr)
+	if inLLC && inL2 && !kp.FillL2(pfAddr) {
+		t.Error("low-confidence prefetch installed in L2 despite the gate")
+	}
+}
+
+// TestCoreModelRetireMonotonic: retirement times never decrease, whatever
+// the instruction mix.
+func TestCoreModelRetireMonotonic(t *testing.T) {
+	cfg := DefaultConfig(1)
+	sys := NewSystem(cfg, nil)
+	c := sys.cores[0]
+	rng := xrand.New(42)
+	prev := uint64(0)
+	for i := 0; i < 20000; i++ {
+		kind := trace.MemKind(rng.Intn(4))
+		ins := trace.Instr{PC: 0x400000 + uint64(rng.Intn(64))*4, Kind: kind}
+		if kind != trace.MemNone {
+			ins.Addr = rng.Uint64n(1 << 22)
+		}
+		c.step(sys.h, 0, ins)
+		if c.lastRetire < prev {
+			t.Fatalf("retire time went backwards at %d: %d < %d", i, c.lastRetire, prev)
+		}
+		prev = c.lastRetire
+	}
+}

@@ -1,0 +1,140 @@
+package workloads
+
+// All returns the full registered workload table: 29 SPEC-CPU-2006-like
+// and 5 CloudSuite-like specs. Footprints are chosen relative to the 2MB
+// single-core LLC of Table III: cache-resident benchmarks sit below it
+// (low MPKI), streaming/chasing benchmarks far above it (the Figure 12
+// high-MPKI set), matching each benchmark's published LLC behaviour class.
+func All() []Spec {
+	mk := func(name string, memRatio, storeRatio float64, seed uint64, phases ...Phase) Spec {
+		return Spec{Name: name, Suite: SPEC, MemRatio: memRatio,
+			StoreRatio: storeRatio, CodeFootprint: 512, Seed: seed, Phases: phases}
+	}
+	cloud := func(name string, memRatio, storeRatio float64, seed uint64, phases ...Phase) Spec {
+		return Spec{Name: name, Suite: CloudSuite, MemRatio: memRatio,
+			StoreRatio: storeRatio, CodeFootprint: 8192, Seed: seed, Phases: phases}
+	}
+
+	return []Spec{
+		// ------------------------- SPEC CPU 2006 -------------------------
+		// Pointer-chasing, huge footprint, the classic memory-bound case.
+		mk("429.mcf", 0.38, 0.20, 1,
+			Phase{Instructions: 4_000_000, Pattern: PatternPointerChase, FootprintKB: 2304,
+				IrregularPct: 0.30, IrregularKB: 3 * 1024},
+			Phase{Instructions: 1_000_000, Pattern: PatternZipf, FootprintKB: 4 * 1024, ZipfS: 0.9}),
+		// Store-heavy fluid-dynamics streaming over large arrays.
+		mk("470.lbm", 0.42, 0.45, 2,
+			Phase{Instructions: 5_000_000, Pattern: PatternStream, FootprintKB: 24 * 1024, StrideBytes: 64, Streams: 6,
+				IrregularPct: 0.15, IrregularKB: 3 * 1024}),
+		// Perfectly regular single-stream scan.
+		mk("462.libquantum", 0.30, 0.25, 3,
+			Phase{Instructions: 5_000_000, Pattern: PatternStream, FootprintKB: 16 * 1024, StrideBytes: 64, Streams: 1,
+				IrregularPct: 0.05, IrregularKB: 2 * 1024}),
+		// Discrete-event simulation: pointer-heavy with a skewed hot core.
+		mk("471.omnetpp", 0.36, 0.30, 4,
+			Phase{Instructions: 2_000_000, Pattern: PatternPointerChase, FootprintKB: 2560,
+				IrregularPct: 0.25, IrregularKB: 3 * 1024},
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 8 * 1024, ZipfS: 0.8}),
+		// XML processing: skewed working set somewhat above LLC capacity.
+		mk("483.xalancbmk", 0.37, 0.25, 5,
+			Phase{Instructions: 3_000_000, Pattern: PatternZipf, FootprintKB: 6 * 1024, ZipfS: 0.7, ReuseTouches: 1}),
+		// Compiler: strongly phased working sets (small, then huge).
+		mk("403.gcc", 0.35, 0.30, 6,
+			Phase{Instructions: 1_500_000, Pattern: PatternZipf, FootprintKB: 1024, ZipfS: 0.9, ReuseTouches: 1},
+			Phase{Instructions: 1_500_000, Pattern: PatternUniform, FootprintKB: 12 * 1024},
+			Phase{Instructions: 1_000_000, Pattern: PatternStream, FootprintKB: 8 * 1024, StrideBytes: 64, Streams: 2}),
+		// LP solver: multi-stream strided sweeps plus irregular updates.
+		mk("450.soplex", 0.39, 0.28, 7,
+			Phase{Instructions: 2_000_000, Pattern: PatternStream, FootprintKB: 10 * 1024, StrideBytes: 128, Streams: 4,
+				IrregularPct: 0.25, IrregularKB: 3 * 1024},
+			Phase{Instructions: 1_500_000, Pattern: PatternZipf, FootprintKB: 5 * 1024, ZipfS: 0.6}),
+		// FDTD stencil over large grids.
+		mk("459.GemsFDTD", 0.40, 0.30, 8,
+			Phase{Instructions: 4_000_000, Pattern: PatternStencil, FootprintKB: 20 * 1024, StrideBytes: 64, Streams: 6, ReuseTouches: 2,
+				IrregularPct: 0.18, IrregularKB: 4 * 1024}),
+		// CFD stencil, several arrays in lockstep.
+		mk("437.leslie3d", 0.40, 0.30, 9,
+			Phase{Instructions: 4_000_000, Pattern: PatternStencil, FootprintKB: 14 * 1024, StrideBytes: 64, Streams: 5, ReuseTouches: 2,
+				IrregularPct: 0.18, IrregularKB: 3 * 1024}),
+		// Lattice QCD: large strided sweeps.
+		mk("433.milc", 0.37, 0.30, 10,
+			Phase{Instructions: 3_000_000, Pattern: PatternStream, FootprintKB: 18 * 1024, StrideBytes: 128, Streams: 3,
+				IrregularPct: 0.12, IrregularKB: 4 * 1024},
+			Phase{Instructions: 1_000_000, Pattern: PatternUniform, FootprintKB: 10 * 1024}),
+		// Spectral-method streaming.
+		mk("410.bwaves", 0.40, 0.25, 11,
+			Phase{Instructions: 4_000_000, Pattern: PatternStream, FootprintKB: 22 * 1024, StrideBytes: 64, Streams: 4,
+				IrregularPct: 0.10, IrregularKB: 3 * 1024}),
+		// Path-finding: pointer chase over a medium graph.
+		mk("473.astar", 0.35, 0.22, 12,
+			Phase{Instructions: 3_000_000, Pattern: PatternPointerChase, FootprintKB: 2176,
+				IrregularPct: 0.20, IrregularKB: 2 * 1024},
+			Phase{Instructions: 1_000_000, Pattern: PatternZipf, FootprintKB: 2 * 1024, ZipfS: 0.8}),
+		// Compression: skewed medium working set.
+		mk("401.bzip2", 0.34, 0.30, 13,
+			Phase{Instructions: 2_500_000, Pattern: PatternZipf, FootprintKB: 4 * 1024, ZipfS: 0.6, ReuseTouches: 1},
+			Phase{Instructions: 1_000_000, Pattern: PatternStream, FootprintKB: 3 * 1024, StrideBytes: 64, Streams: 2}),
+		// Speech recognition: streaming model evaluation + hot tables.
+		mk("482.sphinx3", 0.36, 0.15, 14,
+			Phase{Instructions: 2_000_000, Pattern: PatternStream, FootprintKB: 8 * 1024, StrideBytes: 64, Streams: 3,
+				IrregularPct: 0.15, IrregularKB: 2 * 1024},
+			Phase{Instructions: 1_500_000, Pattern: PatternZipf, FootprintKB: 1024, ZipfS: 1.0, ReuseTouches: 2}),
+		// Magnetohydrodynamics stencil.
+		mk("434.zeusmp", 0.38, 0.30, 15,
+			Phase{Instructions: 3_000_000, Pattern: PatternStencil, FootprintKB: 9 * 1024, StrideBytes: 64, Streams: 4, ReuseTouches: 2,
+				IrregularPct: 0.15, IrregularKB: 3 * 1024}),
+		// General relativity stencil.
+		mk("436.cactusADM", 0.40, 0.32, 16,
+			Phase{Instructions: 3_000_000, Pattern: PatternStencil, FootprintKB: 8 * 1024, StrideBytes: 128, Streams: 4, ReuseTouches: 1,
+				IrregularPct: 0.15, IrregularKB: 3 * 1024}),
+		// Weather model: medium stencil, decent locality.
+		mk("481.wrf", 0.37, 0.28, 17,
+			Phase{Instructions: 2_500_000, Pattern: PatternStencil, FootprintKB: 5 * 1024, StrideBytes: 64, Streams: 4, ReuseTouches: 3,
+				IrregularPct: 0.12, IrregularKB: 2 * 1024}),
+		// ------------- mostly cache-resident (low MPKI) -------------
+		mk("400.perlbench", 0.36, 0.32, 18,
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 768, ZipfS: 0.9, ReuseTouches: 2}),
+		mk("416.gamess", 0.33, 0.25, 19,
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 512, ZipfS: 1.0, ReuseTouches: 3}),
+		mk("444.namd", 0.35, 0.22, 20,
+			Phase{Instructions: 2_000_000, Pattern: PatternStencil, FootprintKB: 1024, StrideBytes: 64, Streams: 3, ReuseTouches: 3}),
+		mk("447.dealII", 0.36, 0.26, 21,
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 1536, ZipfS: 0.8, ReuseTouches: 2}),
+		mk("453.povray", 0.33, 0.24, 22,
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 384, ZipfS: 1.1, ReuseTouches: 3}),
+		mk("458.sjeng", 0.30, 0.20, 23,
+			Phase{Instructions: 2_000_000, Pattern: PatternUniform, FootprintKB: 1536, ReuseTouches: 1}),
+		mk("445.gobmk", 0.32, 0.24, 24,
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 1024, ZipfS: 0.7, ReuseTouches: 2}),
+		mk("464.h264ref", 0.38, 0.25, 25,
+			Phase{Instructions: 2_000_000, Pattern: PatternStream, FootprintKB: 1280, StrideBytes: 64, Streams: 4, ReuseTouches: 2}),
+		mk("456.hmmer", 0.40, 0.30, 26,
+			Phase{Instructions: 2_000_000, Pattern: PatternStream, FootprintKB: 512, StrideBytes: 64, Streams: 2, ReuseTouches: 2}),
+		mk("465.tonto", 0.34, 0.26, 27,
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 896, ZipfS: 0.9, ReuseTouches: 2}),
+		mk("454.calculix", 0.36, 0.27, 28,
+			Phase{Instructions: 2_000_000, Pattern: PatternStencil, FootprintKB: 1280, StrideBytes: 64, Streams: 3, ReuseTouches: 2}),
+		mk("435.gromacs", 0.34, 0.24, 29,
+			Phase{Instructions: 2_000_000, Pattern: PatternStencil, FootprintKB: 1024, StrideBytes: 64, Streams: 3, ReuseTouches: 3}),
+
+		// --------------------------- CloudSuite ---------------------------
+		// Server workloads: flat reuse curves, large footprints, a thin hot
+		// metadata layer, larger code footprints.
+		cloud("cassandra", 0.35, 0.30, 101,
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 16 * 1024, ZipfS: 0.6},
+			Phase{Instructions: 1_000_000, Pattern: PatternUniform, FootprintKB: 8 * 1024}),
+		cloud("classification", 0.37, 0.22, 102,
+			Phase{Instructions: 2_000_000, Pattern: PatternStream, FootprintKB: 12 * 1024, StrideBytes: 64, Streams: 4,
+				IrregularPct: 0.15, IrregularKB: 3 * 1024},
+			Phase{Instructions: 1_000_000, Pattern: PatternZipf, FootprintKB: 2 * 1024, ZipfS: 0.9, ReuseTouches: 1}),
+		cloud("cloud9", 0.34, 0.28, 103,
+			Phase{Instructions: 2_000_000, Pattern: PatternUniform, FootprintKB: 10 * 1024},
+			Phase{Instructions: 1_000_000, Pattern: PatternZipf, FootprintKB: 3 * 1024, ZipfS: 0.7}),
+		cloud("nutch", 0.33, 0.26, 104,
+			Phase{Instructions: 2_000_000, Pattern: PatternZipf, FootprintKB: 14 * 1024, ZipfS: 0.5},
+			Phase{Instructions: 1_000_000, Pattern: PatternPointerChase, FootprintKB: 4 * 1024}),
+		cloud("streaming", 0.38, 0.20, 105,
+			Phase{Instructions: 3_000_000, Pattern: PatternStream, FootprintKB: 20 * 1024, StrideBytes: 64, Streams: 8,
+				IrregularPct: 0.12, IrregularKB: 4 * 1024}),
+	}
+}
