@@ -1,0 +1,30 @@
+# Build / test / CI entry points. `make ci` is the gate the parallel
+# engine must pass: vet, the full suite under the race detector (the
+# sched pool and singleflight memos are exercised by every experiment
+# test), and a one-iteration bench smoke over every experiment.
+
+GO ?= go
+
+.PHONY: build test vet race bench-smoke bench-parallel ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Regenerates BENCH_parallel.json: cold wall-clock per experiment at
+# jobs=1 vs jobs=NumCPU, tracked across PRs.
+bench-parallel:
+	$(GO) run ./cmd/benchjson -o BENCH_parallel.json
+
+ci: vet race bench-smoke

@@ -5,6 +5,13 @@
 //	experiments -list
 //	experiments -run fig10 -scale quick
 //	experiments -run all -scale full -csv
+//	experiments -run all -scale quick -jobs 8
+//
+// Experiments fan out over a bounded worker pool (internal/sched): each
+// one runs its (workload × policy) grid in parallel, and with -run all
+// the experiments themselves also run concurrently, their tables streamed
+// to stdout in paper order as they complete. Output is byte-identical at
+// every -jobs setting.
 package main
 
 import (
@@ -14,6 +21,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/viz"
 )
 
@@ -24,8 +33,10 @@ func main() {
 		scale = flag.String("scale", "quick", "scale: quick, full, or bench")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart = flag.Bool("chart", false, "render ASCII charts alongside the tables")
+		jobs  = flag.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
+	sched.SetWorkers(*jobs)
 
 	if *list || *run == "" {
 		fmt.Println("Available experiments:")
@@ -33,7 +44,7 @@ func main() {
 			fmt.Printf("  %-12s %s\n", e.ID, e.Desc)
 		}
 		if *run == "" {
-			fmt.Println("\nRun with: experiments -run <id>|all [-scale quick|full|bench] [-csv]")
+			fmt.Println("\nRun with: experiments -run <id>|all [-scale quick|full|bench] [-jobs N] [-csv]")
 		}
 		return
 	}
@@ -58,26 +69,51 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		tbl, err := experiments.Run(id, s)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		switch {
-		case *csv:
-			fmt.Printf("# %s\n%s\n", id, tbl.CSV())
-		case *chart && id == "fig3":
-			fmt.Println(viz.HeatMap(tbl))
-		case *chart && len(tbl.Header) > 2:
-			fmt.Println(tbl.String())
-			fmt.Println(viz.BarChart(tbl, len(tbl.Header)-1))
-		case *chart:
-			fmt.Println(viz.BarChart(tbl, 1))
-		default:
-			fmt.Println(tbl.String())
-		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v at scale %s]\n\n", id, time.Since(start).Round(time.Millisecond), s.Name)
+
+	// Run every experiment concurrently on the shared pool and stream the
+	// tables out in paper order as they become available. Each experiment's
+	// grid fans out on the same pool, and the singleflight memo caches
+	// coalesce cells shared across experiments (fig10/fig12/tab4 all reuse
+	// the same timing runs), so -run all does strictly less work than
+	// running the ids one by one.
+	type timed struct {
+		tbl     *stats.Table
+		elapsed time.Duration
+	}
+	suiteStart := time.Now()
+	err := sched.Stream(len(ids),
+		func(i int) (timed, error) {
+			start := time.Now()
+			tbl, err := experiments.Run(ids[i], s)
+			if err != nil {
+				return timed{}, fmt.Errorf("experiment %s: %w", ids[i], err)
+			}
+			return timed{tbl, time.Since(start)}, nil
+		},
+		func(i int, r timed) error {
+			id := ids[i]
+			switch {
+			case *csv:
+				fmt.Printf("# %s\n%s\n", id, r.tbl.CSV())
+			case *chart && id == "fig3":
+				fmt.Println(viz.HeatMap(r.tbl))
+			case *chart && len(r.tbl.Header) > 2:
+				fmt.Println(r.tbl.String())
+				fmt.Println(viz.BarChart(r.tbl, len(r.tbl.Header)-1))
+			case *chart:
+				fmt.Println(viz.BarChart(r.tbl, 1))
+			default:
+				fmt.Println(r.tbl.String())
+			}
+			fmt.Fprintf(os.Stderr, "[%s done in %v at scale %s]\n\n", id, r.elapsed.Round(time.Millisecond), s.Name)
+			return nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(ids) > 1 {
+		fmt.Fprintf(os.Stderr, "[suite: %d experiments in %v, jobs=%d]\n",
+			len(ids), time.Since(suiteStart).Round(time.Millisecond), sched.Workers())
 	}
 }

@@ -1,22 +1,28 @@
-// Command rlrsim runs either simulator over one workload under one
-// replacement policy and prints the outcome.
+// Command rlrsim runs either simulator over one workload under one or
+// more replacement policies and prints the outcome.
 //
 // Usage:
 //
 //	rlrsim -workload 429.mcf -policy rlr                 # timing run (IPC)
+//	rlrsim -workload 429.mcf -policy rlr,lru,ship        # compare policies in parallel
 //	rlrsim -workload 429.mcf -policy rlr -llc -n 200000  # LLC-only (hit rate)
 //	rlrsim -trace mcf.llc -policy belady                 # replay a trace file
+//
+// With a comma-separated -policy list the runs fan out over the bounded
+// worker pool (internal/sched) and print in list order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cachesim"
 	_ "repro/internal/core" // registers rlr / rlr-unopt / rlr-mc
 	"repro/internal/experiments"
 	"repro/internal/policy"
+	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
@@ -26,18 +32,21 @@ func main() {
 	var (
 		name    = flag.String("workload", "", "workload name (see tracegen -list)")
 		traceF  = flag.String("trace", "", "LLC access trace file to replay (overrides -workload)")
-		polName = flag.String("policy", "rlr", "replacement policy (or 'belady' with -llc/-trace)")
+		polList = flag.String("policy", "rlr", "replacement policy, or a comma-separated list (or 'belady' with -llc/-trace)")
 		llc     = flag.Bool("llc", false, "run the LLC-only simulator instead of the timing model")
 		n       = flag.Int("n", 200_000, "LLC accesses (-llc) ")
 		warmup  = flag.Uint64("warmup", 200_000, "warmup instructions (timing mode)")
 		measure = flag.Uint64("measure", 1_000_000, "measured instructions (timing mode)")
+		jobs    = flag.Int("jobs", 0, "worker-pool size for multi-policy runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	sched.SetWorkers(*jobs)
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	polNames := strings.Split(*polList, ",")
 
 	if *traceF != "" || *llc {
 		var accesses []trace.Access
@@ -63,23 +72,33 @@ func main() {
 			}
 		}
 		cfg := uarch.DefaultConfig(1).LLC
-		var pol policy.Policy
-		if *polName == "belady" || *polName == "belady-bypass" {
-			oracle := policy.NewOracle(accesses, cfg.LineSize)
-			if *polName == "belady" {
-				pol = policy.NewBelady(oracle)
-			} else {
-				pol = policy.NewBeladyBypass(oracle)
-			}
-		} else {
-			var err error
-			if pol, err = policy.New(*polName); err != nil {
-				fail(err)
-			}
+		// Each policy replays the shared captured trace independently;
+		// rows stream out in list order.
+		err := sched.Stream(len(polNames),
+			func(i int) (cachesim.Stats, error) {
+				pn := strings.TrimSpace(polNames[i])
+				var pol policy.Policy
+				switch pn {
+				case "belady":
+					pol = policy.NewBelady(policy.NewOracle(accesses, cfg.LineSize))
+				case "belady-bypass":
+					pol = policy.NewBeladyBypass(policy.NewOracle(accesses, cfg.LineSize))
+				default:
+					var err error
+					if pol, err = policy.New(pn); err != nil {
+						return cachesim.Stats{}, err
+					}
+				}
+				return cachesim.RunPolicy(cfg, pol, accesses), nil
+			},
+			func(i int, st cachesim.Stats) error {
+				fmt.Printf("policy=%s accesses=%d hits=%d (%.2f%%) demand-hit-rate=%.2f%% evictions=%d bypasses=%d\n",
+					strings.TrimSpace(polNames[i]), st.Accesses, st.Hits, st.HitRate(), st.DemandHitRate(), st.Evictions, st.Bypasses)
+				return nil
+			})
+		if err != nil {
+			fail(err)
 		}
-		st := cachesim.RunPolicy(cfg, pol, accesses)
-		fmt.Printf("policy=%s accesses=%d hits=%d (%.2f%%) demand-hit-rate=%.2f%% evictions=%d bypasses=%d\n",
-			pol.Name(), st.Accesses, st.Hits, st.HitRate(), st.DemandHitRate(), st.Evictions, st.Bypasses)
 		return
 	}
 
@@ -87,12 +106,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	pol, err := policy.New(*polName)
+	err = sched.Stream(len(polNames),
+		func(i int) (uarch.Result, error) {
+			pol, err := policy.New(strings.TrimSpace(polNames[i]))
+			if err != nil {
+				return uarch.Result{}, err
+			}
+			sys := uarch.NewSystem(uarch.DefaultConfig(1), pol)
+			return sys.RunSingle(workloads.New(spec), *warmup, *measure), nil
+		},
+		func(i int, res uarch.Result) error {
+			fmt.Printf("workload=%s policy=%s IPC=%.4f demand-MPKI=%.2f LLC-accesses=%d LLC-hits=%d\n",
+				spec.Name, strings.TrimSpace(polNames[i]), res.IPC(), res.DemandMPKI, res.LLCStats.Accesses, res.LLCStats.Hits)
+			return nil
+		})
 	if err != nil {
 		fail(err)
 	}
-	sys := uarch.NewSystem(uarch.DefaultConfig(1), pol)
-	res := sys.RunSingle(workloads.New(spec), *warmup, *measure)
-	fmt.Printf("workload=%s policy=%s IPC=%.4f demand-MPKI=%.2f LLC-accesses=%d LLC-hits=%d\n",
-		spec.Name, pol.Name(), res.IPC(), res.DemandMPKI, res.LLCStats.Accesses, res.LLCStats.Hits)
 }

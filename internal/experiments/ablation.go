@@ -6,6 +6,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/internal/sched"
 	"repro/internal/stats"
 )
 
@@ -32,22 +33,32 @@ func runAblation(s Scale) (*stats.Table, error) {
 	noType.UseTypePriority = false
 	variants := []core.Options{core.Optimized(), noHit, noType}
 
-	ratios := make([][]float64, len(variants))
-	for _, bench := range ablationBenches {
-		base, err := runIPC(bench, policy.MustNew("lru"), s)
-		if err != nil {
-			return nil, err
+	// Flat (benchmark × {lru, variants...}) grid on the pool. The LRU
+	// baseline (column 0) goes through the runIPC memo — shared with
+	// fig10/fig12 — while the variants must not: they all share the
+	// policy name "rlr", so the name-keyed memo would collide.
+	cols := len(variants) + 1
+	flat, err := sched.Map(len(ablationBenches)*cols, func(k int) (float64, error) {
+		bench := ablationBenches[k/cols]
+		j := k % cols
+		if j == 0 {
+			res, err := runIPC(bench, policy.MustNew("lru"), s)
+			return res.IPC(), err
 		}
+		res, err := runIPCUncached(bench, core.New(variants[j-1]), s)
+		return res.IPC(), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	ratios := make([][]float64, len(variants))
+	for i, bench := range ablationBenches {
+		base := flat[i*cols]
 		row := []string{bench}
-		for vi, opt := range variants {
-			// Ablation variants share the policy name "rlr", so they must
-			// not go through runIPC's name-keyed memoization.
-			res, err := runIPCUncached(bench, core.New(opt), s)
-			if err != nil {
-				return nil, err
-			}
-			ratios[vi] = append(ratios[vi], res.IPC()/base.IPC())
-			row = append(row, stats.Pct(stats.SpeedupPct(res.IPC(), base.IPC())))
+		for vi := range variants {
+			ipc := flat[i*cols+vi+1]
+			ratios[vi] = append(ratios[vi], ipc/base)
+			row = append(row, stats.Pct(stats.SpeedupPct(ipc, base)))
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}
@@ -68,23 +79,32 @@ func runAgeSweep(s Scale) (*stats.Table, error) {
 		Header: []string{"benchmark", "2b", "3b", "4b", "5b", "6b", "8b", "RDx1", "RDx2", "RDx4"},
 	}
 	cfg := s.LLCConfig()
-	for _, bench := range ablationBenches {
-		tr, err := CaptureLLCTrace(bench, s)
+	// Each (benchmark × config) cell replays the captured trace under one
+	// variant; cells for the same benchmark coalesce their trace capture
+	// through the CaptureLLCTrace singleflight.
+	bitsSweep := []int{2, 3, 4, 5, 6, 8}
+	multSweep := []int{1, 2, 4}
+	cols := len(bitsSweep) + len(multSweep)
+	flat, err := sched.Map(len(ablationBenches)*cols, func(k int) (float64, error) {
+		tr, err := CaptureLLCTrace(ablationBenches[k/cols], s)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		o := core.Unoptimized()
+		if j := k % cols; j < len(bitsSweep) {
+			o.AgeBits = bitsSweep[j]
+		} else {
+			o.RDMultiplier = multSweep[j-len(bitsSweep)]
+		}
+		return cachesim.RunPolicy(cfg, core.New(o), tr).HitRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range ablationBenches {
 		row := []string{bench}
-		for _, bits := range []int{2, 3, 4, 5, 6, 8} {
-			o := core.Unoptimized()
-			o.AgeBits = bits
-			st := cachesim.RunPolicy(cfg, core.New(o), tr)
-			row = append(row, stats.F2(st.HitRate()))
-		}
-		for _, mult := range []int{1, 2, 4} {
-			o := core.Unoptimized()
-			o.RDMultiplier = mult
-			st := cachesim.RunPolicy(cfg, core.New(o), tr)
-			row = append(row, stats.F2(st.HitRate()))
+		for j := 0; j < cols; j++ {
+			row = append(row, stats.F2(flat[i*cols+j]))
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}
@@ -99,17 +119,22 @@ func runWeightSweep(s Scale) (*stats.Table, error) {
 		tbl.Header = append(tbl.Header, fmt.Sprintf("w=%d", w))
 	}
 	cfg := s.LLCConfig()
-	for _, bench := range ablationBenches {
-		tr, err := CaptureLLCTrace(bench, s)
+	flat, err := sched.Map(len(ablationBenches)*len(weights), func(k int) (float64, error) {
+		tr, err := CaptureLLCTrace(ablationBenches[k/len(weights)], s)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		o := core.Optimized()
+		o.AgeWeight = weights[k%len(weights)]
+		return cachesim.RunPolicy(cfg, core.New(o), tr).HitRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range ablationBenches {
 		row := []string{bench}
-		for _, w := range weights {
-			o := core.Optimized()
-			o.AgeWeight = w
-			st := cachesim.RunPolicy(cfg, core.New(o), tr)
-			row = append(row, stats.F2(st.HitRate()))
+		for j := range weights {
+			row = append(row, stats.F2(flat[i*len(weights)+j]))
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}

@@ -10,9 +10,11 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/policy"
 	"repro/internal/rl"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/uarch"
@@ -150,105 +152,144 @@ func (s Scale) sysConfig(cores int) uarch.Config {
 func (s Scale) LLCConfig() cache.Config { return s.sysConfig(1).LLC }
 
 // ---- shared caches (trace capture and RL training are expensive) ----
+//
+// Each cache is a sharded, singleflight-backed memo (internal/sched):
+// concurrent runners asking for the same (workload, scale) cell block on
+// one computation instead of duplicating it, and distinct cells proceed
+// in parallel instead of serializing behind one global lock.
 
 var (
-	cacheMu    sync.Mutex
-	traceCache = map[string][]trace.Access{}
-	agentCache = map[string]*rl.Agent{}
-	ipcCache   = map[string]uarch.Result{}
+	traceMemo  = sched.NewMemo[[]trace.Access]()
+	agentMemo  = sched.NewMemo[*trainedAgent]()
+	ipcMemo    = sched.NewMemo[uarch.Result]()
+	mixMemo    = sched.NewMemo[map[string]float64]()
+	victimMemo = sched.NewMemo[analysis.VictimStats]()
 )
+
+// trainedAgent pairs a memoized agent with the mutex that serializes its
+// use. Replaying an agent (rl.Evaluate, analysis.CollectVictimStats)
+// mutates its per-run scratch state — the attached simulator, featurizer,
+// and state buffer — so experiments sharing one memoized agent must take
+// turns. Every replay re-initializes that scratch state and a
+// non-training agent consumes no randomness, so the turn order cannot
+// change any result.
+type trainedAgent struct {
+	mu    sync.Mutex
+	agent *rl.Agent
+}
 
 // CaptureLLCTrace runs the timing simulator with an LRU LLC over the named
 // workload and records n LLC accesses — exactly the §III-A trace
 // generation step (ChampSim with LRU, ⟨PC, type, address⟩ per access).
-// Results are memoized per (workload, scale).
+// Results are memoized per (workload, scale); concurrent calls for the
+// same key run the simulator exactly once.
 func CaptureLLCTrace(name string, s Scale) ([]trace.Access, error) {
 	key := fmt.Sprintf("%s/%s/%d/%d", name, s.Name, s.TraceLen, s.CacheDiv)
-	cacheMu.Lock()
-	if tr, ok := traceCache[key]; ok {
-		cacheMu.Unlock()
-		return tr, nil
-	}
-	cacheMu.Unlock()
+	return traceMemo.Do(key, func() ([]trace.Access, error) {
+		return captureLLCTrace(name, s)
+	})
+}
 
+// captureLLCTrace is the uncached capture run behind CaptureLLCTrace.
+func captureLLCTrace(name string, s Scale) ([]trace.Access, error) {
 	spec, err := workloads.ByName(name)
 	if err != nil {
 		return nil, err
 	}
 	sys := uarch.NewSystem(s.sysConfig(1), policy.MustNew("lru"))
-	var captured []trace.Access
-	sys.Hierarchy().SetLLCObserver(func(a trace.Access, hit bool) {
-		if len(captured) < s.TraceLen {
-			captured = append(captured, a)
+	h := sys.Hierarchy()
+	captured := make([]trace.Access, 0, s.TraceLen)
+	h.SetLLCObserver(func(a trace.Access, hit bool) {
+		captured = append(captured, a)
+		if len(captured) == s.TraceLen {
+			// Full: detach so the rest of the chunk runs observer-free
+			// instead of re-checking the length on every LLC access.
+			h.SetLLCObserver(nil)
 		}
 	})
 	gen := workloads.New(spec)
-	c := sys
 	// Run in instruction chunks until enough LLC accesses are captured (or
 	// a hard instruction cap is hit for nearly-cache-resident workloads,
 	// whose short traces are fine: they exercise no replacement pressure).
 	var executed uint64
 	capInstr := uint64(s.TraceLen)*150 + 2_000_000
 	for len(captured) < s.TraceLen && executed < capInstr {
-		c.RunSingle(gen, 0, 50_000)
+		sys.RunSingle(gen, 0, 50_000)
 		executed += 50_000
 	}
-	cacheMu.Lock()
-	traceCache[key] = captured
-	cacheMu.Unlock()
 	return captured, nil
 }
 
 // TrainedAgent trains (and memoizes) the RL agent for one workload's
 // captured LLC trace at the given scale.
 func TrainedAgent(name string, s Scale) (*rl.Agent, []trace.Access, error) {
+	ta, tr, err := trainedAgentFor(name, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ta.agent, tr, nil
+}
+
+// trainedAgentFor returns the memoized agent together with its
+// serialization lock (see trainedAgent).
+func trainedAgentFor(name string, s Scale) (*trainedAgent, []trace.Access, error) {
 	tr, err := CaptureLLCTrace(name, s)
 	if err != nil {
 		return nil, nil, err
 	}
 	key := fmt.Sprintf("%s/%s", name, s.Name)
-	cacheMu.Lock()
-	if ag, ok := agentCache[key]; ok {
-		cacheMu.Unlock()
-		return ag, tr, nil
+	ta, err := agentMemo.Do(key, func() (*trainedAgent, error) {
+		return &trainedAgent{agent: rl.Train(s.LLCConfig(), tr, s.RL)}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	cacheMu.Unlock()
-	agent := rl.Train(s.LLCConfig(), tr, s.RL)
-	cacheMu.Lock()
-	agentCache[key] = agent
-	cacheMu.Unlock()
-	return agent, tr, nil
+	return ta, tr, nil
 }
 
-// ResetCaches clears the memoized traces and agents (tests use it to bound
-// memory; scales are part of the keys so correctness never depends on it).
+// withTrainedAgent runs fn with the benchmark's trained agent while
+// holding its lock. Every in-package replay of a memoized agent goes
+// through here; TrainedAgent itself stays lock-free for single-threaded
+// callers (examples).
+func withTrainedAgent(name string, s Scale, fn func(*rl.Agent, []trace.Access) error) error {
+	ta, tr, err := trainedAgentFor(name, s)
+	if err != nil {
+		return err
+	}
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	return fn(ta.agent, tr)
+}
+
+// ResetCaches clears the memoized traces, agents, timing results, mix
+// speedups, and victim statistics (tests and the bench harness use it to
+// bound memory and to time cold runs; scales are part of the keys so
+// correctness never depends on it).
 func ResetCaches() {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	traceCache = map[string][]trace.Access{}
-	agentCache = map[string]*rl.Agent{}
-	ipcCache = map[string]uarch.Result{}
+	traceMemo.Reset()
+	agentMemo.Reset()
+	ipcMemo.Reset()
+	mixMemo.Reset()
+	victimMemo.Reset()
+}
+
+// cachedEntries reports the total number of memoized results (tests).
+func cachedEntries() int {
+	return traceMemo.Len() + agentMemo.Len() + ipcMemo.Len() +
+		mixMemo.Len() + victimMemo.Len()
 }
 
 // runIPC executes one single-core timing run and returns the result.
 // Results are memoized per (workload, policy, scale): several experiments
-// (fig10, fig12, tab4) visit the same cell, and the runs are deterministic.
+// (fig10, fig12, tab4) visit the same cell, the runs are deterministic,
+// and the singleflight means concurrent grid cells needing the same
+// (workload, policy) — every policy column shares its LRU baseline —
+// compute it once and share it.
 func runIPC(name string, pol policy.Policy, s Scale) (uarch.Result, error) {
 	key := fmt.Sprintf("%s/%s/%s/%d/%d/%d", name, pol.Name(), s.Name, s.Warmup, s.Measure, s.CacheDiv)
-	cacheMu.Lock()
-	if r, ok := ipcCache[key]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-	r, err := runIPCUncached(name, pol, s)
-	if err != nil {
-		return uarch.Result{}, err
-	}
-	cacheMu.Lock()
-	ipcCache[key] = r
-	cacheMu.Unlock()
-	return r, nil
+	return ipcMemo.Do(key, func() (uarch.Result, error) {
+		return runIPCUncached(name, pol, s)
+	})
 }
 
 // runIPCUncached is runIPC without memoization, for policy variants that

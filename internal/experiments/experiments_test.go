@@ -258,11 +258,11 @@ func TestResetCaches(t *testing.T) {
 	if _, err := CaptureLLCTrace("470.lbm", s); err != nil {
 		t.Fatal(err)
 	}
+	if n := cachedEntries(); n == 0 {
+		t.Fatal("capture did not populate the memo caches")
+	}
 	ResetCaches()
-	cacheMu.Lock()
-	n := len(traceCache) + len(agentCache)
-	cacheMu.Unlock()
-	if n != 0 {
+	if n := cachedEntries(); n != 0 {
 		t.Errorf("caches not cleared: %d entries", n)
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/policy"
 	"repro/internal/rl"
+	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func init() {
@@ -26,7 +28,12 @@ func runFig1(s Scale) (*stats.Table, error) {
 		Header: append(append([]string{"benchmark"}, "LRU", "DRRIP", "SHiP", "SHiP++", "HAWKEYE", "RLR"), "RL", "BELADY"),
 	}
 	cfg := s.LLCConfig()
-	for _, bench := range workloadTrainingNames() {
+	benches := workloadTrainingNames()
+	// One row per training benchmark, each a self-contained chain (capture
+	// → replay under each policy → train agent → Belady bound); rows run
+	// in parallel and assemble in benchmark order.
+	rows, err := sched.Map(len(benches), func(i int) ([]string, error) {
+		bench := benches[i]
 		tr, err := CaptureLLCTrace(bench, s)
 		if err != nil {
 			return nil, err
@@ -36,15 +43,21 @@ func runFig1(s Scale) (*stats.Table, error) {
 			st := cachesim.RunPolicy(cfg, policy.MustNew(pname), tr)
 			row = append(row, stats.F2(st.HitRate()))
 		}
-		agent, _, err := TrainedAgent(bench, s)
+		err = withTrainedAgent(bench, s, func(agent *rl.Agent, _ []trace.Access) error {
+			row = append(row, stats.F2(rl.Evaluate(cfg, agent, tr).HitRate()))
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, stats.F2(rl.Evaluate(cfg, agent, tr).HitRate()))
 		oracle := policy.NewOracle(tr, cfg.LineSize)
 		bel := cachesim.RunPolicy(cfg, policy.NewBelady(oracle), tr)
 		row = append(row, stats.F2(bel.HitRate()))
-		tbl.Rows = append(tbl.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tbl.Rows = append(tbl.Rows, rows...)
 	return tbl, nil
 }

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/policy"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
@@ -50,44 +50,39 @@ func runMix(mix []string, polName string, s Scale) ([]float64, error) {
 	return ipcs, nil
 }
 
-var (
-	mixMu    sync.Mutex
-	mixCache = map[string]map[string]float64{}
-)
-
 // mixSpeedups computes, for each policy, the geomean-over-mixes of the
-// §V-A mix speedup formula. Results are memoized per (mix set, scale):
-// fig13 and tab4 share them.
+// §V-A mix speedup formula. Results are memoized per (mix set, scale) in
+// a singleflight cache: fig13 and tab4 share them even when they run
+// concurrently. The (mix × policy) cells — including each mix's LRU
+// baseline, column 0 — fan out over the sched pool and are reduced in mix
+// order, so the result is identical to the serial loop's.
 func mixSpeedups(mixes [][]string, s Scale) (map[string]float64, error) {
 	key := fmt.Sprintf("%v/%s/%d/%d/%d", mixes, s.Name, s.MixWarmup, s.MixMeasure, s.CacheDiv)
-	mixMu.Lock()
-	if out, ok := mixCache[key]; ok {
-		mixMu.Unlock()
-		return out, nil
-	}
-	mixMu.Unlock()
-	perPolicy := make(map[string][]float64, len(mcPolicies))
-	for _, mix := range mixes {
-		base, err := runMix(mix, "lru", s)
+	return mixMemo.Do(key, func() (map[string]float64, error) {
+		cols := len(mcPolicies) + 1
+		flat, err := sched.Map(len(mixes)*cols, func(k int) ([]float64, error) {
+			polName := "lru"
+			if j := k % cols; j > 0 {
+				polName = mcPolicies[j-1].Name
+			}
+			return runMix(mixes[k/cols], polName, s)
+		})
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range mcPolicies {
-			ipcs, err := runMix(mix, p.Name, s)
-			if err != nil {
-				return nil, err
+		perPolicy := make(map[string][]float64, len(mcPolicies))
+		for i := range mixes {
+			base := flat[i*cols]
+			for j, p := range mcPolicies {
+				perPolicy[p.Name] = append(perPolicy[p.Name], stats.MixSpeedup(flat[i*cols+j+1], base))
 			}
-			perPolicy[p.Name] = append(perPolicy[p.Name], stats.MixSpeedup(ipcs, base))
 		}
-	}
-	out := make(map[string]float64, len(mcPolicies))
-	for _, p := range mcPolicies {
-		out[p.Name] = stats.GeoMeanSpeedupPct(perPolicy[p.Name])
-	}
-	mixMu.Lock()
-	mixCache[key] = out
-	mixMu.Unlock()
-	return out, nil
+		out := make(map[string]float64, len(mcPolicies))
+		for _, p := range mcPolicies {
+			out[p.Name] = stats.GeoMeanSpeedupPct(perPolicy[p.Name])
+		}
+		return out, nil
+	})
 }
 
 // cloudMixes4 builds the CloudSuite 4-core runs: 4-of-5 rotations.
@@ -141,20 +136,20 @@ func runTab4(s Scale) (*stats.Table, error) {
 		Title:  "Table IV: overall speedup over LRU (%)",
 		Header: []string{"policy", "1-core SPEC2006", "1-core CloudSuite", "4-core SPEC2006", "4-core CloudSuite"},
 	}
-	_, specRatios, err := speedupTable("", workloads.SPECNames(), s)
-	if err != nil {
-		return nil, err
+	// The four summary inputs (two 1-core tables, two 4-core mix sets) run
+	// concurrently; each is itself a parallel grid, and all of them share
+	// cells with fig10/fig11/fig13 through the singleflight memos.
+	var (
+		specRatios, cloudRatios map[string][]float64
+		spec4, cloud4           map[string]float64
+	)
+	parts := []func() error{
+		func() (err error) { _, specRatios, err = speedupTable("", workloads.SPECNames(), s); return },
+		func() (err error) { _, cloudRatios, err = speedupTable("", workloads.CloudNames(), s); return },
+		func() (err error) { spec4, err = mixSpeedups(workloads.Mixes(s.MixCount, 2026), s); return },
+		func() (err error) { cloud4, err = mixSpeedups(cloudMixes4(3), s); return },
 	}
-	_, cloudRatios, err := speedupTable("", workloads.CloudNames(), s)
-	if err != nil {
-		return nil, err
-	}
-	spec4, err := mixSpeedups(workloads.Mixes(s.MixCount, 2026), s)
-	if err != nil {
-		return nil, err
-	}
-	cloud4, err := mixSpeedups(cloudMixes4(3), s)
-	if err != nil {
+	if err := sched.ForEach(len(parts), func(i int) error { return parts[i]() }); err != nil {
 		return nil, err
 	}
 	label4 := map[string]string{ // 1-core policy name → 4-core policy name

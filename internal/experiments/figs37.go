@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/rl"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -27,13 +28,17 @@ func runFig3(s Scale) (*stats.Table, error) {
 		Title:  "Figure 3: mean |input weight| per feature (rows) per benchmark (cols)",
 		Header: append([]string{"feature"}, benches...),
 	}
-	weights := make(map[string]map[rl.Feature]float64, len(benches))
-	for _, b := range benches {
-		agent, _, err := TrainedAgent(b, s)
+	// One RL training run per benchmark: the expensive, embarrassingly
+	// parallel part. Columns assemble in benchmark order below.
+	cols, err := sched.Map(len(benches), func(i int) (map[rl.Feature]float64, error) {
+		var rows []analysis.HeatMapRow
+		err := withTrainedAgent(benches[i], s, func(agent *rl.Agent, _ []trace.Access) error {
+			rows = analysis.HeatMap(agent)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		rows := analysis.HeatMap(agent)
 		m := make(map[rl.Feature]float64, len(rows))
 		// Normalize per benchmark (heat maps compare within a column).
 		max := rows[0].Weight
@@ -42,7 +47,14 @@ func runFig3(s Scale) (*stats.Table, error) {
 				m[r.Feature] = r.Weight / max
 			}
 		}
-		weights[b] = m
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	weights := make(map[string]map[rl.Feature]float64, len(benches))
+	for i, b := range benches {
+		weights[b] = cols[i]
 	}
 	for f := rl.Feature(0); f < rl.NumFeatures; f++ {
 		row := []string{f.String()}
@@ -70,16 +82,22 @@ func runHillClimb(s Scale) (*stats.Table, error) {
 		opts.Agent.Hidden = 32
 	}
 	opts.Epochs = 1
-	for _, b := range []string{"429.mcf", "470.lbm"} {
-		tr, err := CaptureLLCTrace(b, s)
+	benches := []string{"429.mcf", "470.lbm"}
+	perBench, err := sched.Map(len(benches), func(i int) ([]analysis.HillClimbStep, error) {
+		tr, err := CaptureLLCTrace(benches[i], s)
 		if err != nil {
 			return nil, err
 		}
 		if len(tr) > 60_000 {
 			tr = tr[:60_000]
 		}
-		steps := analysis.HillClimb(s.LLCConfig(), tr, opts, s.HillRounds)
-		for i, st := range steps {
+		return analysis.HillClimb(s.LLCConfig(), tr, opts, s.HillRounds), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
+		for i, st := range perBench[bi] {
 			tbl.AddRow(b, fmt.Sprint(i+1), st.Added.String(), stats.F2(st.HitRate))
 		}
 	}
@@ -91,12 +109,19 @@ func runFig4(s Scale) (*stats.Table, error) {
 		Title:  "Figure 4: share of reused lines by |preuse − reuse| (set accesses)",
 		Header: []string{"benchmark", "<10", "10-50", ">50", "samples"},
 	}
-	for _, b := range workloadTrainingNames() {
-		tr, err := CaptureLLCTrace(b, s)
+	benches := workloadTrainingNames()
+	prs, err := sched.Map(len(benches), func(i int) (analysis.PreuseReuse, error) {
+		tr, err := CaptureLLCTrace(benches[i], s)
 		if err != nil {
-			return nil, err
+			return analysis.PreuseReuse{}, err
 		}
-		pr := analysis.PreuseReuseDiff(s.LLCConfig(), tr)
+		return analysis.PreuseReuseDiff(s.LLCConfig(), tr), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		pr := prs[i]
 		tbl.AddRow(b, stats.Pct(100*pr.Below10), stats.Pct(100*pr.Mid10to50),
 			stats.Pct(100*pr.Above50), fmt.Sprint(pr.Samples))
 	}
@@ -104,13 +129,27 @@ func runFig4(s Scale) (*stats.Table, error) {
 }
 
 // victimStats trains (or reuses) the benchmark's agent and collects the
-// eviction statistics behind Figures 5–7.
+// eviction statistics behind Figures 5–7. The collection pass is memoized
+// per (benchmark, scale): figs 5, 6, and 7 all need it, and the
+// singleflight lets them share one pass even when they run concurrently.
 func victimStats(b string, s Scale) (analysis.VictimStats, error) {
-	agent, tr, err := TrainedAgent(b, s)
-	if err != nil {
-		return analysis.VictimStats{}, err
-	}
-	return analysis.CollectVictimStats(s.LLCConfig(), agent, tr), nil
+	key := fmt.Sprintf("%s/%s", b, s.Name)
+	return victimMemo.Do(key, func() (analysis.VictimStats, error) {
+		var vs analysis.VictimStats
+		err := withTrainedAgent(b, s, func(agent *rl.Agent, tr []trace.Access) error {
+			vs = analysis.CollectVictimStats(s.LLCConfig(), agent, tr)
+			return nil
+		})
+		return vs, err
+	})
+}
+
+// victimStatsAll fans the per-benchmark victim collection out over the
+// pool, returning results in benchmark order.
+func victimStatsAll(benches []string, s Scale) ([]analysis.VictimStats, error) {
+	return sched.Map(len(benches), func(i int) (analysis.VictimStats, error) {
+		return victimStats(benches[i], s)
+	})
 }
 
 func runFig5(s Scale) (*stats.Table, error) {
@@ -118,11 +157,13 @@ func runFig5(s Scale) (*stats.Table, error) {
 		Title:  "Figure 5: average victim age (set accesses since last access) per access type",
 		Header: []string{"benchmark", "LOAD", "RFO", "PREFETCH", "WRITEBACK"},
 	}
-	for _, b := range workloadTrainingNames() {
-		st, err := victimStats(b, s)
-		if err != nil {
-			return nil, err
-		}
+	benches := workloadTrainingNames()
+	all, err := victimStatsAll(benches, s)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		st := all[i]
 		tbl.AddRow(b,
 			stats.F2(st.AvgAgeByType[trace.Load]),
 			stats.F2(st.AvgAgeByType[trace.RFO]),
@@ -137,11 +178,13 @@ func runFig6(s Scale) (*stats.Table, error) {
 		Title:  "Figure 6: victims by hits since insertion",
 		Header: []string{"benchmark", "0 hits", "1 hit", ">1 hit"},
 	}
-	for _, b := range workloadTrainingNames() {
-		st, err := victimStats(b, s)
-		if err != nil {
-			return nil, err
-		}
+	benches := workloadTrainingNames()
+	all, err := victimStatsAll(benches, s)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		st := all[i]
 		tbl.AddRow(b, stats.Pct(100*st.HitsZero), stats.Pct(100*st.HitsOne), stats.Pct(100*st.HitsMore))
 	}
 	return tbl, nil
@@ -154,13 +197,13 @@ func runFig7(s Scale) (*stats.Table, error) {
 		Title:  "Figure 7: percentage of victims by recency (0 = LRU)",
 		Header: append([]string{"recency"}, benches...),
 	}
+	all, err := victimStatsAll(benches, s)
+	if err != nil {
+		return nil, err
+	}
 	cols := make(map[string][]float64, len(benches))
-	for _, b := range benches {
-		st, err := victimStats(b, s)
-		if err != nil {
-			return nil, err
-		}
-		cols[b] = st.RecencyPct
+	for i, b := range benches {
+		cols[b] = all[i].RecencyPct
 	}
 	for r := 0; r < ways; r++ {
 		row := []string{fmt.Sprint(r)}

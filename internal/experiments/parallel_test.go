@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/policy"
+	"repro/internal/rl"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TestParallelDeterminism is the engine's core guarantee: running an
+// experiment on one worker and on eight produces byte-identical tables.
+// It covers the three grid shapes — the timing-run grid (fig10), the
+// trace-analysis loop (fig4), and the uncached-variant grid (ablation) —
+// at BenchScale, with the memo caches cleared before each run so both
+// executions do the full work.
+func TestParallelDeterminism(t *testing.T) {
+	defer sched.SetWorkers(0)
+	s := BenchScale()
+	for _, id := range []string{"fig10", "fig4", "ablation"} {
+		sched.SetWorkers(1)
+		ResetCaches()
+		serial, err := Run(id, s)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		sched.SetWorkers(8)
+		ResetCaches()
+		parallel, err := Run(id, s)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s: jobs=1 and jobs=8 tables differ\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+				id, serial.String(), parallel.String())
+		}
+	}
+}
+
+// TestCaptureSingleflight proves that N concurrent CaptureLLCTrace calls
+// for one key run the simulator exactly once: every caller gets the same
+// backing slice, and the trace memo records a single computation.
+func TestCaptureSingleflight(t *testing.T) {
+	defer sched.SetWorkers(0)
+	sched.SetWorkers(8)
+	ResetCaches()
+	s := tinyScale()
+	before := traceMemo.Computes()
+
+	const callers = 16
+	traces := make([][]trace.Access, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			traces[c], errs[c] = CaptureLLCTrace("470.lbm", s)
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		if len(traces[c]) != s.TraceLen {
+			t.Fatalf("caller %d captured %d accesses, want %d", c, len(traces[c]), s.TraceLen)
+		}
+		if &traces[c][0] != &traces[0][0] {
+			t.Errorf("caller %d received a different backing slice (capture duplicated)", c)
+		}
+	}
+	if d := traceMemo.Computes() - before; d != 1 {
+		t.Errorf("simulator ran %d times for one key under %d concurrent callers, want exactly 1", d, callers)
+	}
+}
+
+// TestRunIPCSingleflight extends the guarantee to the timing-run memo:
+// concurrent identical runIPC cells coalesce to one simulation.
+func TestRunIPCSingleflight(t *testing.T) {
+	defer sched.SetWorkers(0)
+	sched.SetWorkers(8)
+	ResetCaches()
+	s := tinyScale()
+	before := ipcMemo.Computes()
+	var wg sync.WaitGroup
+	for c := 0; c < 12; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := runIPC("470.lbm", policy.MustNew("lru"), s); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := ipcMemo.Computes() - before; d != 1 {
+		t.Errorf("runIPC computed %d times for one key, want 1", d)
+	}
+}
+
+// TestSharedAgentSerialized covers the cross-experiment hazard behind
+// fig1 and figs 5–7: one memoized agent replayed concurrently (rl.Evaluate
+// and analysis.CollectVictimStats both attach a simulator and reuse the
+// agent's scratch buffers). withTrainedAgent must serialize the replays so
+// every caller sees the result a lone caller would.
+func TestSharedAgentSerialized(t *testing.T) {
+	defer sched.SetWorkers(0)
+	sched.SetWorkers(8)
+	ResetCaches()
+	s := tinyScale()
+	cfg := s.LLCConfig()
+	const bench = "429.mcf"
+
+	// Serial ground truth.
+	var wantHit float64
+	var wantVS analysis.VictimStats
+	if err := withTrainedAgent(bench, s, func(agent *rl.Agent, tr []trace.Access) error {
+		wantHit = rl.Evaluate(cfg, agent, tr).HitRate()
+		wantVS = analysis.CollectVictimStats(cfg, agent, tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed concurrent replays of the same memoized agent.
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			err := withTrainedAgent(bench, s, func(agent *rl.Agent, tr []trace.Access) error {
+				if c%2 == 0 {
+					if got := rl.Evaluate(cfg, agent, tr).HitRate(); got != wantHit {
+						t.Errorf("caller %d: hit rate %.6f, want %.6f", c, got, wantHit)
+					}
+				} else {
+					if got := analysis.CollectVictimStats(cfg, agent, tr); !reflect.DeepEqual(got, wantVS) {
+						t.Errorf("caller %d: victim stats diverged", c)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+}

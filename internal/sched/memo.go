@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// memoShards is the fixed shard count (power of two for cheap masking).
+// The experiment grids have at most a few hundred distinct keys; 16
+// shards keeps lock contention negligible without wasting memory.
+const memoShards = 16
+
+// Memo is a sharded, singleflight-backed memo cache keyed by string. The
+// first caller for a key computes; concurrent callers for the same key
+// block until that computation finishes and then share its result, so an
+// expensive deterministic job (a trace capture, an RL training run, a
+// timing simulation) executes at most once per key no matter how many
+// grid cells need it. Errors are returned to every waiter but not cached,
+// so a later call may retry.
+type Memo[V any] struct {
+	computes atomic.Int64
+	shards   [memoShards]memoShard[V]
+}
+
+type memoShard[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flight[V]
+}
+
+// flight is one in-progress or completed computation. val and err are
+// written before done is closed, so waiters may read them after <-done.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewMemo returns an empty cache.
+func NewMemo[V any]() *Memo[V] {
+	m := &Memo[V]{}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]*flight[V])
+	}
+	return m
+}
+
+// fnv32a hashes the key onto a shard.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Do returns the memoized value for key, computing it with fn if absent.
+// Concurrent calls for the same key run fn exactly once; the rest wait.
+func (m *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
+	sh := &m.shards[fnv32a(key)&(memoShards-1)]
+	sh.mu.Lock()
+	if f, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	sh.m[key] = f
+	sh.mu.Unlock()
+
+	m.computes.Add(1)
+	completed := false
+	defer func() {
+		if !completed { // fn panicked: fail the flight so waiters unblock
+			f.err = fmt.Errorf("sched: memo computation for %q panicked", key)
+			m.forget(sh, key, f)
+			close(f.done)
+		}
+	}()
+	f.val, f.err = fn()
+	completed = true
+	if f.err != nil {
+		// Errors propagate to the current waiters but are not cached.
+		m.forget(sh, key, f)
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+// forget removes key only if it still maps to f (a concurrent Reset may
+// have replaced the map, and another flight may own the key by now).
+func (m *Memo[V]) forget(sh *memoShard[V], key string, f *flight[V]) {
+	sh.mu.Lock()
+	if cur, ok := sh.m[key]; ok && cur == f {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+}
+
+// Computes reports how many times Do actually executed its fn (cache
+// misses), across the Memo's lifetime. Tests use it to prove singleflight
+// coalescing; Reset does not zero it.
+func (m *Memo[V]) Computes() int64 { return m.computes.Load() }
+
+// Len reports the number of cached keys.
+func (m *Memo[V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		n += len(m.shards[i].m)
+		m.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Reset drops every cached entry (tests use it to bound memory). An
+// in-flight computation still completes and is delivered to its current
+// waiters; it is simply no longer findable afterwards.
+func (m *Memo[V]) Reset() {
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		m.shards[i].m = make(map[string]*flight[V])
+		m.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,322 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f with the pool sized to n, restoring the default.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	f()
+}
+
+func TestWorkersDefaultAndOverride(t *testing.T) {
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+	withWorkers(t, 7, func() {
+		if Workers() != 7 {
+			t.Errorf("Workers() = %d, want 7", Workers())
+		}
+	})
+	SetWorkers(-3) // negative resets to default
+	if n := Workers(); n < 1 {
+		t.Errorf("Workers() after negative set = %d", n)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 4, 16} {
+		withWorkers(t, w, func() {
+			const n = 100
+			var hits [n]atomic.Int32
+			if err := ForEach(n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	withWorkers(t, 8, func() {
+		// Indices 3 and 7 both fail; the lowest index must win regardless
+		// of completion order.
+		for trial := 0; trial < 20; trial++ {
+			err := ForEach(10, func(i int) error {
+				switch i {
+				case 3:
+					return errA
+				case 7:
+					return errB
+				}
+				return nil
+			})
+			if err != errA {
+				t.Fatalf("trial %d: err = %v, want %v", trial, err, errA)
+			}
+		}
+	})
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	withWorkers(t, 1, func() {
+		ran := 0
+		err := ForEach(100, func(i int) error {
+			ran++
+			if i == 4 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("no error")
+		}
+		if ran != 5 { // serial: indices 0..4, nothing after the failure
+			t.Errorf("ran %d jobs serially, want 5", ran)
+		}
+	})
+}
+
+func TestMapOrderedAssembly(t *testing.T) {
+	for _, w := range []int{1, 8} {
+		withWorkers(t, w, func() {
+			out, err := Map(50, func(i int) (string, error) {
+				return fmt.Sprintf("v%d", i), nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != fmt.Sprintf("v%d", i) {
+					t.Fatalf("workers=%d: out[%d] = %q", w, i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrencyBounded(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var cur, max atomic.Int32
+		err := ForEach(64, func(i int) error {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			// Nested call: must run inline (or on spare tokens), never
+			// exceeding the global bound, and never deadlocking.
+			_ = ForEach(4, func(int) error { return nil })
+			cur.Add(-1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := max.Load(); m > 4 {
+			t.Errorf("observed %d concurrent jobs, bound is 4", m)
+		}
+		if helpersInUse() != 0 {
+			t.Errorf("%d helper tokens leaked", helpersInUse())
+		}
+	})
+}
+
+func TestStreamEmitsInOrder(t *testing.T) {
+	for _, w := range []int{1, 8} {
+		withWorkers(t, w, func() {
+			var got []int
+			err := Stream(30, func(i int) (int, error) {
+				return i * i, nil
+			}, func(i, v int) error {
+				if v != i*i {
+					t.Fatalf("emit(%d) got %d", i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("workers=%d: emission order %v", w, got)
+				}
+			}
+			if len(got) != 30 {
+				t.Fatalf("emitted %d of 30", len(got))
+			}
+		})
+	}
+}
+
+func TestStreamErrorStopsEmission(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 8} {
+		withWorkers(t, w, func() {
+			var emitted []int
+			err := Stream(20, func(i int) (int, error) {
+				if i == 5 {
+					return 0, boom
+				}
+				return i, nil
+			}, func(i, v int) error {
+				emitted = append(emitted, i)
+				return nil
+			})
+			if err != boom {
+				t.Fatalf("workers=%d: err = %v, want %v", w, err, boom)
+			}
+			for _, i := range emitted {
+				if i >= 5 {
+					t.Errorf("workers=%d: emitted index %d after failure at 5", w, i)
+				}
+			}
+		})
+	}
+}
+
+func TestStreamEmitError(t *testing.T) {
+	stopEmit := errors.New("stop emit")
+	withWorkers(t, 8, func() {
+		err := Stream(20, func(i int) (int, error) { return i, nil },
+			func(i, v int) error {
+				if i == 3 {
+					return stopEmit
+				}
+				return nil
+			})
+		if err != stopEmit {
+			t.Fatalf("err = %v, want %v", err, stopEmit)
+		}
+		if helpersInUse() != 0 {
+			t.Errorf("%d helper tokens leaked", helpersInUse())
+		}
+	})
+}
+
+func TestMemoSingleflight(t *testing.T) {
+	m := NewMemo[int]()
+	var running, maxRunning atomic.Int32
+	const callers = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := m.Do("key", func() (int, error) {
+				r := running.Add(1)
+				for {
+					mx := maxRunning.Load()
+					if r <= mx || maxRunning.CompareAndSwap(mx, r) {
+						break
+					}
+				}
+				defer running.Add(-1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := m.Computes(); n != 1 {
+		t.Errorf("computed %d times for one key, want 1", n)
+	}
+	if mx := maxRunning.Load(); mx != 1 {
+		t.Errorf("max concurrent computations = %d, want 1", mx)
+	}
+}
+
+func TestMemoErrorNotCached(t *testing.T) {
+	m := NewMemo[int]()
+	boom := errors.New("boom")
+	if _, err := m.Do("k", func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("failed computation cached (%d entries)", m.Len())
+	}
+	v, err := m.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error = %d, %v", v, err)
+	}
+	if m.Computes() != 2 {
+		t.Errorf("computes = %d, want 2", m.Computes())
+	}
+}
+
+func TestMemoResetAndLen(t *testing.T) {
+	m := NewMemo[string]()
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, err := m.Do(k, func() (string, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", m.Len())
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	// Keys recompute after Reset.
+	if _, err := m.Do("k0", func() (string, error) { return "again", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Computes() != 41 {
+		t.Errorf("computes = %d, want 41", m.Computes())
+	}
+}
+
+func TestMemoPanicUnblocksWaiters(t *testing.T) {
+	m := NewMemo[int]()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }()
+		m.Do("k", func() (int, error) {
+			close(release)
+			panic("kaboom")
+		})
+	}()
+	<-release
+	// This waiter must not hang; it gets an error once the panic unwinds.
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Do("k", func() (int, error) { return 1, nil })
+		done <- err
+	}()
+	wg.Wait()
+	if err := <-done; err != nil {
+		// Either the waiter joined the panicked flight (error) or it
+		// recomputed after the cleanup (nil) — both are acceptable; a
+		// hang is not.
+		t.Logf("waiter observed: %v", err)
+	}
+}
