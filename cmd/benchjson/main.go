@@ -6,9 +6,13 @@
 //
 //	benchjson                         # all experiments at BenchScale
 //	benchjson -run fig10,fig4 -o BENCH_parallel.json
+//	benchjson -hotpath                # per-access hot path -> BENCH_hotpath.json
+//	benchjson -hotpath -quick -o -    # CI smoke: small trace, stdout
 //
 // The memo caches are cleared before every timed run, so both columns
-// measure cold, full work; the speedup column is serial/parallel.
+// measure cold, full work; the speedup column is serial/parallel. With
+// -hotpath it instead measures the per-access inner loops and the
+// chain-vs-map Belady replay speedup (see hotpath.go).
 package main
 
 import (
@@ -33,10 +37,10 @@ type entry struct {
 }
 
 type report struct {
-	Scale   string  `json:"scale"`
-	Jobs    int     `json:"jobs"` // the parallel column's worker count
-	NumCPU  int     `json:"num_cpu"`
-	Results []entry `json:"results"`
+	Scale           string  `json:"scale"`
+	Jobs            int     `json:"jobs"` // the parallel column's worker count
+	NumCPU          int     `json:"num_cpu"`
+	Results         []entry `json:"results"`
 	TotalSerialMS   float64 `json:"total_serial_ms"`
 	TotalParallelMS float64 `json:"total_parallel_ms"`
 	TotalSpeedup    float64 `json:"total_speedup"`
@@ -46,10 +50,27 @@ func main() {
 	var (
 		runList = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		scale   = flag.String("scale", "bench", "scale: quick, full, or bench")
-		out     = flag.String("o", "BENCH_parallel.json", "output file ('-' for stdout)")
+		out     = flag.String("o", "", "output file ('-' for stdout; default BENCH_parallel.json or BENCH_hotpath.json)")
 		jobs    = flag.Int("jobs", 0, "parallel column's worker count (0 = NumCPU)")
+		hotpath = flag.Bool("hotpath", false, "measure the per-access hot path instead of the experiment grid")
+		quick   = flag.Bool("quick", false, "with -hotpath: small trace and short budgets (CI smoke)")
 	)
 	flag.Parse()
+
+	if *hotpath {
+		path := *out
+		if path == "" {
+			path = "BENCH_hotpath.json"
+		}
+		if err := runHotpath(*quick, path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_parallel.json"
+	}
 
 	var s experiments.Scale
 	switch *scale {

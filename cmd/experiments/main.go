@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/viz"
@@ -34,9 +35,24 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart = flag.Bool("chart", false, "render ASCII charts alongside the tables")
 		jobs  = flag.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS); output is identical at any value")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	sched.SetWorkers(*jobs)
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+	defer stopCPU()
 
 	if *list || *run == "" {
 		fmt.Println("Available experiments:")
@@ -81,7 +97,7 @@ func main() {
 		elapsed time.Duration
 	}
 	suiteStart := time.Now()
-	err := sched.Stream(len(ids),
+	err = sched.Stream(len(ids),
 		func(i int) (timed, error) {
 			start := time.Now()
 			tbl, err := experiments.Run(ids[i], s)

@@ -22,6 +22,7 @@ import (
 	_ "repro/internal/core" // registers rlr / rlr-unopt / rlr-mc
 	"repro/internal/experiments"
 	"repro/internal/policy"
+	"repro/internal/profiling"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/uarch"
@@ -38,6 +39,8 @@ func main() {
 		warmup  = flag.Uint64("warmup", 200_000, "warmup instructions (timing mode)")
 		measure = flag.Uint64("measure", 1_000_000, "measured instructions (timing mode)")
 		jobs    = flag.Int("jobs", 0, "worker-pool size for multi-policy runs (0 = GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	sched.SetWorkers(*jobs)
@@ -46,6 +49,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+	defer stopCPU()
 	polNames := strings.Split(*polList, ",")
 
 	if *traceF != "" || *llc {
@@ -74,7 +87,7 @@ func main() {
 		cfg := uarch.DefaultConfig(1).LLC
 		// Each policy replays the shared captured trace independently;
 		// rows stream out in list order.
-		err := sched.Stream(len(polNames),
+		err = sched.Stream(len(polNames),
 			func(i int) (cachesim.Stats, error) {
 				pn := strings.TrimSpace(polNames[i])
 				var pol policy.Policy

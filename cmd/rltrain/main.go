@@ -18,6 +18,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/experiments"
 	"repro/internal/policy"
+	"repro/internal/profiling"
 	"repro/internal/rl"
 	"repro/internal/trace"
 )
@@ -29,6 +30,8 @@ func main() {
 		epochs   = flag.Int("epochs", 1, "training passes over the trace")
 		hidden   = flag.Int("hidden", 175, "hidden-layer width")
 		out      = flag.String("out", "", "write the trained model to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -36,6 +39,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+	defer stopCPU()
 
 	s := experiments.FullScale()
 	s.TraceLen = *accesses

@@ -73,9 +73,10 @@ type Simulator struct {
 	cfg   policy.Config
 	seq   uint64
 	stats Stats
-	// lastTouch[set][block] = set-access count when the block was last
-	// referenced; implements the "access preuse" feature of Table II.
-	lastTouch []map[uint64]uint64
+	// preuse maps block → set-access count at the block's last reference;
+	// it implements the "access preuse" feature of Table II with a fixed
+	// probe table so the per-access path stays allocation-free.
+	preuse *preuseTable
 }
 
 // New builds a simulator over a fresh cache of geometry cfg governed by p.
@@ -85,13 +86,10 @@ func New(cfg cache.Config, numCores int, p policy.Policy) *Simulator {
 		numCores = 1
 	}
 	s := &Simulator{
-		c:   cache.New(cfg),
-		p:   p,
-		cfg: policy.Config{Config: cfg, NumCores: numCores},
-	}
-	s.lastTouch = make([]map[uint64]uint64, cfg.Sets)
-	for i := range s.lastTouch {
-		s.lastTouch[i] = make(map[uint64]uint64)
+		c:      cache.New(cfg),
+		p:      p,
+		cfg:    policy.Config{Config: cfg, NumCores: numCores},
+		preuse: newPreuseTable(cfg.Sets * cfg.Ways),
 	}
 	p.Init(s.cfg)
 	return s
@@ -111,15 +109,15 @@ func (s *Simulator) Seq() uint64 { return s.seq }
 
 // AccessPreuse returns the preuse distance the next access to addr would
 // observe (set accesses since the block's last reference in its set), or
-// NeverAccessed. This is the Table II "access preuse" feature.
+// NeverAccessed. This is the Table II "access preuse" feature. Blocks
+// displaced from the bounded history table (see preuseTable) also read as
+// NeverAccessed.
 func (s *Simulator) AccessPreuse(addr uint64) uint64 {
-	setIdx := s.c.SetIndex(addr)
-	block := s.c.BlockAddr(addr)
-	last, ok := s.lastTouch[setIdx][block]
+	last, ok := s.preuse.lookup(s.c.BlockAddr(addr))
 	if !ok {
 		return NeverAccessed
 	}
-	return s.c.Set(setIdx).Accesses - last
+	return uint64(uint32(s.c.Set(s.c.SetIndex(addr)).Accesses) - last)
 }
 
 // Step processes one access end to end: probe, metadata update, policy
@@ -185,21 +183,10 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 	return res
 }
 
-// touch records the block's reference for access-preuse tracking and bounds
-// the per-set history map.
+// touch records the block's reference for access-preuse tracking: one
+// bounded probe-table store, no allocation, no sweep.
 func (s *Simulator) touch(setIdx uint32, addr uint64) {
-	m := s.lastTouch[setIdx]
-	m[s.c.BlockAddr(addr)] = s.c.Set(setIdx).Accesses
-	if len(m) > 4096 {
-		// Drop stale entries; anything older than 4096 set accesses has a
-		// preuse distance far beyond every feature normalization bound.
-		cur := s.c.Set(setIdx).Accesses
-		for b, t := range m {
-			if cur-t > 2048 {
-				delete(m, b)
-			}
-		}
-	}
+	s.preuse.store(s.c.BlockAddr(addr), uint32(s.c.Set(setIdx).Accesses), uint32(s.seq))
 }
 
 // Run replays every access and returns the final statistics.

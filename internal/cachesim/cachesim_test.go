@@ -121,13 +121,55 @@ func TestRunMatchesStepping(t *testing.T) {
 	}
 }
 
-func TestLastTouchBounded(t *testing.T) {
+func TestPreuseTableBounded(t *testing.T) {
 	sim := New(cache.Config{Sets: 1, Ways: 2, LineSize: 64}, 1, policy.MustNew("lru"))
+	before := sim.preuse.size()
 	for i := uint64(0); i < 100000; i++ {
 		sim.Step(ld(i))
 	}
-	if n := len(sim.lastTouch[0]); n > 5000 {
-		t.Errorf("lastTouch map grew unbounded: %d entries", n)
+	if after := sim.preuse.size(); after != before {
+		t.Errorf("preuse table resized under streaming: %d -> %d slots", before, after)
+	}
+	if before > 4096 {
+		t.Errorf("preuse table oversized for a 2-line cache: %d slots", before)
+	}
+}
+
+func TestPreuseTableDisplacement(t *testing.T) {
+	tb := newPreuseTable(2) // minimum table: 32 slots, 4 buckets
+	// Overfill one logical bucket's worth of distinct blocks; the table must
+	// keep serving lookups for the most recently stamped entries and never
+	// grow.
+	for seq := uint32(0); seq < 10000; seq++ {
+		tb.store(uint64(seq%500), seq, seq)
+	}
+	if tb.size() != 32 {
+		t.Fatalf("table size = %d, want 32", tb.size())
+	}
+	// A block stored and never displaced must read back exactly.
+	tb.store(12345, 777, 20000)
+	if got, ok := tb.lookup(12345); !ok || got != 777 {
+		t.Errorf("lookup(12345) = %d,%v; want 777,true", got, ok)
+	}
+	// Unknown blocks read as absent.
+	if _, ok := tb.lookup(999999); ok {
+		t.Errorf("lookup of never-stored block reported present")
+	}
+}
+
+func TestStepZeroAllocs(t *testing.T) {
+	sim := New(cache.Config{Sets: 16, Ways: 4, LineSize: 64}, 1, policy.MustNew("lru"))
+	// Warm the cache so steady-state covers hits, misses, and evictions.
+	for i := uint64(0); i < 4096; i++ {
+		sim.Step(ld(i % 128))
+	}
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		sim.Step(ld(i % 128))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Simulator.Step allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

@@ -164,6 +164,7 @@ var (
 	ipcMemo    = sched.NewMemo[uarch.Result]()
 	mixMemo    = sched.NewMemo[map[string]float64]()
 	victimMemo = sched.NewMemo[analysis.VictimStats]()
+	oracleMemo = sched.NewMemo[*policy.Oracle]()
 )
 
 // trainedAgent pairs a memoized agent with the mutex that serializes its
@@ -187,6 +188,25 @@ func CaptureLLCTrace(name string, s Scale) ([]trace.Access, error) {
 	key := fmt.Sprintf("%s/%s/%d/%d", name, s.Name, s.TraceLen, s.CacheDiv)
 	return traceMemo.Do(key, func() ([]trace.Access, error) {
 		return captureLLCTrace(name, s)
+	})
+}
+
+// BeladyOracle returns the memoized future-knowledge oracle for the named
+// workload's captured trace. Experiments needing the Belady bound share one
+// O(n) construction per (workload, scale) cell.
+//
+// Shared oracles may be used concurrently only through the read-only chain
+// API (policy.Oracle.NextAfter) — which is all that policy.NewBelady /
+// NewBeladyBypass consume. Callers wanting stateful cursor queries
+// (NextUse/NextUseBlock) must build a private oracle instead.
+func BeladyOracle(name string, s Scale) (*policy.Oracle, error) {
+	key := fmt.Sprintf("%s/%s/%d/%d", name, s.Name, s.TraceLen, s.CacheDiv)
+	return oracleMemo.Do(key, func() (*policy.Oracle, error) {
+		tr, err := CaptureLLCTrace(name, s)
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewOracle(tr, s.LLCConfig().LineSize), nil
 	})
 }
 
@@ -271,12 +291,13 @@ func ResetCaches() {
 	ipcMemo.Reset()
 	mixMemo.Reset()
 	victimMemo.Reset()
+	oracleMemo.Reset()
 }
 
 // cachedEntries reports the total number of memoized results (tests).
 func cachedEntries() int {
 	return traceMemo.Len() + agentMemo.Len() + ipcMemo.Len() +
-		mixMemo.Len() + victimMemo.Len()
+		mixMemo.Len() + victimMemo.Len() + oracleMemo.Len()
 }
 
 // runIPC executes one single-core timing run and returns the result.

@@ -50,7 +50,10 @@ func runFig1(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		oracle := policy.NewOracle(tr, cfg.LineSize)
+		oracle, err := BeladyOracle(bench, s)
+		if err != nil {
+			return nil, err
+		}
 		bel := cachesim.RunPolicy(cfg, policy.NewBelady(oracle), tr)
 		row = append(row, stats.F2(bel.HitRate()))
 		return row, nil

@@ -66,6 +66,10 @@ type layer struct {
 	z []float64 // pre-activation
 	y []float64 // activation output
 
+	// backward scratch: this layer's error term. Preallocated so Backward
+	// does no heap allocation in the training loop.
+	d []float64
+
 	// gradient accumulators
 	gw []float64
 	gb []float64
@@ -108,6 +112,7 @@ func NewMLP(inputs int, seed uint64, specs ...LayerSpec) *MLP {
 			b:  make([]float64, s.Units),
 			z:  make([]float64, s.Units),
 			y:  make([]float64, s.Units),
+			d:  make([]float64, s.Units),
 			gw: make([]float64, s.Units*in),
 			gb: make([]float64, s.Units),
 			mw: make([]float64, s.Units*in),
@@ -162,9 +167,12 @@ func (m *MLP) Backward(target []float64) {
 	if len(target) != last.out {
 		panic(fmt.Sprintf("nn: target size %d, want %d", len(target), last.out))
 	}
-	delta := make([]float64, last.out)
+	// Delta buffers are reused across calls, so masked components must be
+	// written to zero rather than skipped.
+	delta := last.d
 	for o := range delta {
 		if math.IsNaN(target[o]) {
+			delta[o] = 0
 			continue
 		}
 		delta[o] = (last.y[o] - target[o]) * last.act.derivative(last.z[o], last.y[o])
@@ -190,7 +198,7 @@ func (m *MLP) Backward(target []float64) {
 		}
 		if li > 0 {
 			prev := m.layers[li-1]
-			nd := make([]float64, prev.out)
+			nd := prev.d // fully overwritten below
 			for i := 0; i < prev.out; i++ {
 				sum := 0.0
 				for o := 0; o < l.out; o++ {

@@ -241,3 +241,68 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Error("Load of empty input succeeded")
 	}
 }
+
+func TestForwardZeroAllocs(t *testing.T) {
+	m := NewMLP(334, 1, LayerSpec{Units: 175, Act: Tanh}, LayerSpec{Units: 16, Act: Linear})
+	x := make([]float64, 334)
+	for i := range x {
+		x[i] = float64(i%7) / 7
+	}
+	allocs := testing.AllocsPerRun(200, func() { m.Forward(x) })
+	if allocs != 0 {
+		t.Errorf("Forward allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestBackwardZeroAllocs(t *testing.T) {
+	m := NewMLP(334, 1, LayerSpec{Units: 175, Act: Tanh}, LayerSpec{Units: 16, Act: Linear})
+	x := make([]float64, 334)
+	target := make([]float64, 16)
+	for i := range target {
+		target[i] = math.NaN() // DQN-style mask: train one action
+	}
+	target[3] = 0.5
+	m.Forward(x)
+	allocs := testing.AllocsPerRun(200, func() { m.Backward(target) })
+	if allocs != 0 {
+		t.Errorf("Backward allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestStepZeroAllocs(t *testing.T) {
+	m := NewMLP(8, 1, LayerSpec{Units: 6, Act: Tanh}, LayerSpec{Units: 2, Act: Linear})
+	x := make([]float64, 8)
+	target := []float64{0.1, -0.1}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Forward(x)
+		m.Backward(target)
+		m.AdamStep(1e-3, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("Forward+Backward+AdamStep allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestBackwardMaskReuse guards the delta-buffer reuse: a fully-masked target
+// right after an unmasked one must produce zero gradient, not stale deltas.
+func TestBackwardMaskReuse(t *testing.T) {
+	m := NewMLP(3, 5, LayerSpec{Units: 4, Act: Tanh}, LayerSpec{Units: 2, Act: Linear})
+	x := []float64{0.3, -0.2, 0.9}
+	m.Forward(x)
+	m.Backward([]float64{1, -1})
+	m.ZeroGrad()
+	m.Forward(x)
+	m.Backward([]float64{math.NaN(), math.NaN()})
+	for li, l := range m.layers {
+		for i, g := range l.gw {
+			if g != 0 {
+				t.Fatalf("layer %d gw[%d] = %v after fully-masked Backward, want 0", li, i, g)
+			}
+		}
+		for i, g := range l.gb {
+			if g != 0 {
+				t.Fatalf("layer %d gb[%d] = %v after fully-masked Backward, want 0", li, i, g)
+			}
+		}
+	}
+}

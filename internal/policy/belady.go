@@ -17,10 +17,29 @@ const NeverUsed = math.MaxUint64
 // next reference. It backs the Belady policy and the RL reward function
 // (§III-A), mirroring the paper's Python simulator, which looks ahead in
 // the trace for both.
+//
+// Two query paths share the same API. In-order replay (the hot path: a
+// simulator walking the trace with non-decreasing sequence numbers) is
+// served by a precomputed next-use chain plus a per-block cursor, so each
+// query costs one map read with no binary search; NextAfter, for callers
+// that know the access index, is a single array read. Random-access
+// queries (seq behind the cursor) fall back to the original per-block
+// position index with a binary search.
+//
+// The cursor makes NextUse/NextUseBlock stateful: an Oracle must not be
+// queried from multiple goroutines concurrently. NextAfter and Len touch
+// only immutable state and remain safe to share.
 type Oracle struct {
-	positions map[uint64][]uint64 // block → sorted access indices
-	blockOf   func(addr uint64) uint64
+	positions map[uint64][]uint64 // block → sorted access indices (random-access path)
+	next      []uint64            // next[i] = index of access i's next same-block reference, or NeverUsed
+	blocks    []uint64            // blocks[i] = block address of access i
+	shift     uint                // addr >> shift = block address
 	length    uint64
+
+	// Replay cursor: head[b] = index of block b's first reference at or
+	// after pos, or NeverUsed once b's references are all consumed.
+	pos  uint64
+	head map[uint64]uint64
 }
 
 // NewOracle scans accesses once and indexes every block's reference
@@ -31,32 +50,89 @@ func NewOracle(accesses []trace.Access, lineSize uint64) *Oracle {
 	for l := lineSize; l > 1; l >>= 1 {
 		shift++
 	}
+	n := len(accesses)
 	o := &Oracle{
 		positions: make(map[uint64][]uint64),
-		blockOf:   func(addr uint64) uint64 { return addr >> shift },
-		length:    uint64(len(accesses)),
+		next:      make([]uint64, n),
+		blocks:    make([]uint64, n),
+		shift:     shift,
+		length:    uint64(n),
 	}
 	for i, a := range accesses {
-		b := o.blockOf(a.Addr)
+		b := a.Addr >> shift
+		o.blocks[i] = b
 		o.positions[b] = append(o.positions[b], uint64(i))
 	}
+	// One backward pass builds the chain; the scratch map ends up holding
+	// every block's first occurrence, which is exactly the cursor's initial
+	// head state.
+	head := make(map[uint64]uint64, len(o.positions))
+	for i := n - 1; i >= 0; i-- {
+		b := o.blocks[i]
+		if nx, ok := head[b]; ok {
+			o.next[i] = nx
+		} else {
+			o.next[i] = NeverUsed
+		}
+		head[b] = uint64(i)
+	}
+	o.head = head
 	return o
 }
 
 // NextUse returns the index of the first reference to addr's block strictly
 // after seq, or NeverUsed.
 func (o *Oracle) NextUse(addr uint64, seq uint64) uint64 {
-	return o.NextUseBlock(o.blockOf(addr), seq)
+	return o.NextUseBlock(addr>>o.shift, seq)
 }
 
 // NextUseBlock is NextUse keyed directly by block address.
 func (o *Oracle) NextUseBlock(block uint64, seq uint64) uint64 {
+	if seq+1 >= o.pos {
+		// In-order replay: consume the trace through seq so head holds each
+		// block's first reference strictly after seq. Amortized O(1) per
+		// trace access regardless of how many queries land on each seq.
+		for o.pos <= seq && o.pos < o.length {
+			o.head[o.blocks[o.pos]] = o.next[o.pos]
+			o.pos++
+		}
+		if h, ok := o.head[block]; ok {
+			return h
+		}
+		return NeverUsed
+	}
+	return o.nextUseMap(block, seq)
+}
+
+// nextUseMap is the random-access reference path: per-block position list
+// plus binary search. It never touches the replay cursor.
+func (o *Oracle) nextUseMap(block uint64, seq uint64) uint64 {
 	pos := o.positions[block]
 	i := sort.Search(len(pos), func(i int) bool { return pos[i] > seq })
 	if i == len(pos) {
 		return NeverUsed
 	}
 	return pos[i]
+}
+
+// NextAfter returns the index of the next reference to the block touched by
+// access seq, or NeverUsed — a single chain read. It is read-only and safe
+// for concurrent use.
+func (o *Oracle) NextAfter(seq uint64) uint64 {
+	if seq >= o.length {
+		return NeverUsed
+	}
+	return o.next[seq]
+}
+
+// ResetReplay rewinds the in-order cursor to the start of the trace. Call
+// it before replaying the same trace again (e.g. a new training epoch) so
+// cursor queries stay on the O(1) path.
+func (o *Oracle) ResetReplay() {
+	o.pos = 0
+	for b, ps := range o.positions {
+		o.head[b] = ps[0]
+	}
 }
 
 // ReuseDistance returns the number of trace accesses until addr's block is
@@ -76,13 +152,27 @@ func (o *Oracle) Len() uint64 { return o.length }
 // next use lies farthest in the future. With bypass enabled, an access
 // whose own next use is farther than every resident line's is not cached
 // at all — the true MIN algorithm.
+//
+// The replay is chain-driven: Update records each touched line's next
+// reference index (one array read via Oracle.NextAfter), so Victim scans a
+// flat per-set row without consulting the oracle at all. This requires the
+// replayed access stream to be the oracle's own trace, in order — the same
+// assumption the RL reward has always made. The victim scan uses a strict
+// greater-than, so equal candidates resolve to the lowest way: distinct
+// resident blocks can never share a finite next-use index (each trace
+// position references one block), and the NeverUsed case short-circuits to
+// the first dead line found — also the lowest way.
 type Belady struct {
 	oracle      *Oracle
 	AllowBypass bool
+	// nextUse[set][way] = trace index of the line's next reference,
+	// recorded at fill/hit time; NeverUsed for dead lines.
+	nextUse [][]uint64
 }
 
 // NewBelady wraps an oracle in a Policy. The same oracle may back multiple
-// policy instances.
+// policy instances, including concurrently: Belady uses only the oracle's
+// immutable chain.
 func NewBelady(o *Oracle) *Belady { return &Belady{oracle: o} }
 
 // NewBeladyBypass is NewBelady with MIN-style bypass enabled.
@@ -97,27 +187,91 @@ func (p *Belady) Name() string {
 }
 
 // Init implements Policy.
-func (p *Belady) Init(Config) {
+func (p *Belady) Init(cfg Config) {
 	if p.oracle == nil {
 		panic("policy: Belady requires an Oracle; construct with NewBelady")
 	}
+	flat := make([]uint64, cfg.Sets*cfg.Ways)
+	for i := range flat {
+		flat[i] = NeverUsed
+	}
+	p.nextUse = make([][]uint64, cfg.Sets)
+	for s := range p.nextUse {
+		p.nextUse[s] = flat[s*cfg.Ways : (s+1)*cfg.Ways]
+	}
 }
 
-// Victim implements Policy.
+// Victim implements Policy: evict the line whose recorded next use is
+// farthest away, breaking ties toward the lowest way. A line with no
+// future reference is returned immediately (nothing can beat it).
 func (p *Belady) Victim(ctx AccessCtx, set *cache.Set) int {
+	row := p.nextUse[ctx.SetIdx]
+	best, bestNext := 0, uint64(0)
+	for w, nu := range row {
+		if nu == NeverUsed {
+			return w
+		}
+		if nu > bestNext {
+			best, bestNext = w, nu
+		}
+	}
+	if p.AllowBypass {
+		if own := p.oracle.NextAfter(ctx.Seq); own > bestNext {
+			return Bypass
+		}
+	}
+	return best
+}
+
+// Update implements Policy: record the touched line's next reference. The
+// access at ctx.Seq is by definition the line's most recent reference, so
+// the chain entry at ctx.Seq is its next use from now on.
+func (p *Belady) Update(ctx AccessCtx, _ *cache.Set, way int, _ bool) {
+	p.nextUse[ctx.SetIdx][way] = p.oracle.NextAfter(ctx.Seq)
+}
+
+// BeladyMapRef is the pre-chain Belady implementation — every victim scan
+// queries the oracle's per-block position map with a binary search. It is
+// retained as the equivalence baseline for the chain-driven Belady (the
+// property tests assert identical statistics) and as the "before" side of
+// the hot-path benchmarks; it is not registered as a named policy.
+type BeladyMapRef struct {
+	oracle      *Oracle
+	AllowBypass bool
+}
+
+// NewBeladyMapRef wraps an oracle in the map-based reference replay.
+func NewBeladyMapRef(o *Oracle) *BeladyMapRef { return &BeladyMapRef{oracle: o} }
+
+// NewBeladyMapRefBypass is NewBeladyMapRef with bypass enabled.
+func NewBeladyMapRefBypass(o *Oracle) *BeladyMapRef {
+	return &BeladyMapRef{oracle: o, AllowBypass: true}
+}
+
+// Name implements Policy.
+func (p *BeladyMapRef) Name() string { return "belady-mapref" }
+
+// Init implements Policy.
+func (p *BeladyMapRef) Init(Config) {
+	if p.oracle == nil {
+		panic("policy: BeladyMapRef requires an Oracle")
+	}
+}
+
+// Victim implements Policy with per-way map+search oracle queries.
+func (p *BeladyMapRef) Victim(ctx AccessCtx, set *cache.Set) int {
 	best, bestNext := 0, uint64(0)
 	for w := range set.Lines {
-		nu := p.oracle.NextUseBlock(set.Lines[w].Block, ctx.Seq)
-		if nu > bestNext || (nu == bestNext && w == 0) {
+		nu := p.oracle.nextUseMap(set.Lines[w].Block, ctx.Seq)
+		if nu > bestNext {
 			best, bestNext = w, nu
 		}
 		if nu == NeverUsed {
-			// Dead line: cannot do better; prefer the first one found.
 			return w
 		}
 	}
 	if p.AllowBypass {
-		own := p.oracle.NextUse(ctx.Addr, ctx.Seq)
+		own := p.oracle.nextUseMap(ctx.Addr>>p.oracle.shift, ctx.Seq)
 		if own > bestNext {
 			return Bypass
 		}
@@ -125,5 +279,5 @@ func (p *Belady) Victim(ctx AccessCtx, set *cache.Set) int {
 	return best
 }
 
-// Update implements Policy. Belady is stateless beyond the oracle.
-func (*Belady) Update(AccessCtx, *cache.Set, int, bool) {}
+// Update implements Policy. BeladyMapRef is stateless beyond the oracle.
+func (*BeladyMapRef) Update(AccessCtx, *cache.Set, int, bool) {}

@@ -48,6 +48,147 @@ func TestOracleProperties(t *testing.T) {
 	}
 }
 
+// TestOracleInOrderMatchesNaive drives the chain+cursor fast path exactly
+// the way a simulator does — non-decreasing sequence numbers, several
+// queries per position — and checks every answer against a naive forward
+// scan. A mid-trace ResetReplay re-runs the prefix to cover epoch restarts.
+func TestOracleInOrderMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 50 + rng.Intn(200)
+		accesses := make([]trace.Access, n)
+		for i := range accesses {
+			accesses[i] = trace.Access{Addr: rng.Uint64n(20) * 64, Type: trace.Load}
+		}
+		o := policy.NewOracle(accesses, 64)
+		naive := func(block, seq uint64) uint64 {
+			for j := int(seq) + 1; j < n; j++ {
+				if accesses[j].Addr>>6 == block {
+					return uint64(j)
+				}
+			}
+			return uint64(policy.NeverUsed)
+		}
+		sweep := func() bool {
+			for seq := uint64(0); seq < uint64(n); seq++ {
+				for q := 0; q < 3; q++ {
+					block := rng.Uint64n(22) // may include never-accessed blocks
+					if o.NextUseBlock(block, seq) != naive(block, seq) {
+						return false
+					}
+				}
+				// The access's own block — the Belady bypass query.
+				own := accesses[seq].Addr >> 6
+				if o.NextUseBlock(own, seq) != naive(own, seq) {
+					return false
+				}
+				if o.NextUseBlock(own, seq) != o.NextAfter(seq) {
+					return false
+				}
+			}
+			return true
+		}
+		if !sweep() {
+			return false
+		}
+		o.ResetReplay() // second epoch must see identical answers
+		return sweep()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomTrace builds a mixed hot/warm/cold trace for replay equivalence
+// tests.
+func randomTrace(rng *xrand.Rand, n int) []trace.Access {
+	accesses := make([]trace.Access, n)
+	for i := range accesses {
+		var b uint64
+		switch rng.Intn(3) {
+		case 0:
+			b = rng.Uint64n(16)
+		case 1:
+			b = 32 + rng.Uint64n(64)
+		default:
+			b = 1000 + uint64(i)
+		}
+		accesses[i] = trace.Access{PC: rng.Uint64n(8), Addr: b * 64, Type: trace.AccessType(rng.Intn(4))}
+	}
+	return accesses
+}
+
+// TestBeladyChainMatchesMapRef replays random traces under the chain-driven
+// Belady and the retained map+binary-search reference; every statistic must
+// be identical, with and without bypass.
+func TestBeladyChainMatchesMapRef(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		accesses := randomTrace(rng, 1000+rng.Intn(1500))
+		cfg := cache.Config{Sets: 4, Ways: 4, LineSize: 64}
+		o := policy.NewOracle(accesses, 64)
+		chain := cachesim.RunPolicy(cfg, policy.NewBelady(o), accesses)
+		mapref := cachesim.RunPolicy(cfg, policy.NewBeladyMapRef(o), accesses)
+		if chain != mapref {
+			t.Logf("no-bypass stats diverge: chain=%+v mapref=%+v", chain, mapref)
+			return false
+		}
+		chainBp := cachesim.RunPolicy(cfg, policy.NewBeladyBypass(o), accesses)
+		maprefBp := cachesim.RunPolicy(cfg, policy.NewBeladyMapRefBypass(o), accesses)
+		if chainBp != maprefBp {
+			t.Logf("bypass stats diverge: chain=%+v mapref=%+v", chainBp, maprefBp)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzOracleChainVsMap cross-checks the two oracle query paths on fuzzed
+// trace shapes and query orders.
+func FuzzOracleChainVsMap(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(42), uint64(7))
+	f.Fuzz(func(t *testing.T, seed, querySeed uint64) {
+		rng := xrand.New(seed)
+		n := 20 + rng.Intn(300)
+		accesses := make([]trace.Access, n)
+		for i := range accesses {
+			accesses[i] = trace.Access{Addr: rng.Uint64n(1+seed%40) * 64, Type: trace.Load}
+		}
+		// The oracle takes the queries in a fuzzed order, mixing cursor and
+		// map paths; a naive forward scan is the ground truth.
+		o := policy.NewOracle(accesses, 64)
+		qrng := xrand.New(querySeed)
+		seq := uint64(0)
+		for q := 0; q < 200; q++ {
+			if qrng.Intn(4) == 0 { // jump backwards: random-access path
+				seq = qrng.Uint64n(uint64(n))
+			} else if seq+1 < uint64(n) && qrng.Intn(2) == 0 {
+				seq++ // in-order step
+			}
+			block := qrng.Uint64n(2 + seed%40)
+			got := o.NextUseBlock(block, seq)
+			want := refNextUse(accesses, block, seq)
+			if got != want {
+				t.Fatalf("NextUseBlock(%d,%d) = %d, want %d", block, seq, got, want)
+			}
+		}
+	})
+}
+
+// refNextUse answers a next-use query with a naive forward scan.
+func refNextUse(accesses []trace.Access, block, seq uint64) uint64 {
+	for j := seq + 1; j < uint64(len(accesses)); j++ {
+		if accesses[j].Addr>>6 == block {
+			return j
+		}
+	}
+	return uint64(policy.NeverUsed)
+}
+
 // TestBeladyMatchesExhaustiveOnTinyTrace compares Belady's hit count with
 // the best achievable by exhaustive search over all eviction choices, on a
 // trace small enough to brute-force. MIN is optimal, so they must agree.

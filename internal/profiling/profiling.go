@@ -1,0 +1,51 @@
+// Package profiling wraps runtime/pprof for the cmd/ tools: every binary
+// that replays traces or trains networks takes -cpuprofile/-memprofile
+// flags wired through StartCPU and WriteHeap, so a slow run can be handed
+// straight to `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns a stop function that
+// flushes and closes the file. When path is empty it is a no-op.
+func StartCPU(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocation profile to path after a final GC, so the
+// numbers reflect live heap rather than collectible garbage. When path is
+// empty it is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: create mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("profiling: write mem profile: %w", err)
+	}
+	return nil
+}

@@ -63,8 +63,13 @@ type Agent struct {
 	oracle   *policy.Oracle
 	training bool
 
-	pending   *Transition
-	decisions uint64
+	// The not-yet-stored previous decision, kept in reused buffers so the
+	// training path allocates nothing per decision.
+	pendingValid  bool
+	pendingAction int
+	pendingReward float64
+	pendingState  []float64
+	decisions     uint64
 
 	state  []float64
 	target []float64
@@ -143,8 +148,9 @@ func (a *Agent) Init(cfg policy.Config) {
 		a.tgt.CopyWeightsFrom(a.q)
 	}
 	a.state = make([]float64, size)
+	a.pendingState = make([]float64, size)
 	a.target = make([]float64, cfg.Ways)
-	a.pending = nil
+	a.pendingValid = false
 	a.sim = nil
 }
 
@@ -169,16 +175,15 @@ func (a *Agent) Victim(ctx policy.AccessCtx, set *cache.Set) int {
 	}
 
 	if a.training && a.oracle != nil {
-		state := append([]float64(nil), a.state...)
-		if a.pending != nil {
-			a.pending.NextState = state
-			a.replay.Push(*a.pending)
+		if a.pendingValid {
+			// The state just built is the pending decision's next state;
+			// Put copies both into the replay slot's recycled buffers.
+			a.replay.Put(a.pendingState, a.pendingAction, a.pendingReward, a.state)
 		}
-		a.pending = &Transition{
-			State:  state,
-			Action: action,
-			Reward: a.reward(ctx, set, action),
-		}
+		copy(a.pendingState, a.state)
+		a.pendingAction = action
+		a.pendingReward = a.reward(ctx, set, action)
+		a.pendingValid = true
 		a.decisions++
 		if a.replay.Len() >= a.cfg.MinReplay && a.decisions%uint64(a.cfg.TrainEvery) == 0 {
 			a.trainStep()
@@ -220,7 +225,7 @@ func (a *Agent) trainStep() {
 	a.q.ZeroGrad()
 	for _, tr := range a.batch {
 		y := tr.Reward
-		if a.cfg.Gamma > 0 && tr.NextState != nil {
+		if a.cfg.Gamma > 0 && len(tr.NextState) > 0 {
 			y += a.cfg.Gamma * maxOf(a.tgt.Forward(tr.NextState))
 		}
 		a.q.Forward(tr.State)

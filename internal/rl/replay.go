@@ -8,7 +8,7 @@ type Transition struct {
 	State     []float64
 	Action    int
 	Reward    float64
-	NextState []float64 // nil while pending / for terminal transitions
+	NextState []float64 // nil/empty for terminal transitions
 }
 
 // Replay is the bounded circular replay memory: the oldest transaction is
@@ -28,9 +28,27 @@ func NewReplay(capacity int) *Replay {
 	return &Replay{buf: make([]Transition, capacity)}
 }
 
-// Push stores a transition, overwriting the oldest when full.
+// Push stores a transition, overwriting the oldest when full. The memory
+// keeps the caller's slices; use Put on the hot path to recycle buffers.
 func (r *Replay) Push(t Transition) {
 	r.buf[r.next] = t
+	r.advance()
+}
+
+// Put stores a transition by copying state and nextState into the evicted
+// slot's recycled buffers: after the ring has been around once, Put does no
+// heap allocation. A nil or empty nextState marks a terminal transition
+// (stored with length 0).
+func (r *Replay) Put(state []float64, action int, reward float64, nextState []float64) {
+	t := &r.buf[r.next]
+	t.State = append(t.State[:0], state...)
+	t.Action = action
+	t.Reward = reward
+	t.NextState = append(t.NextState[:0], nextState...)
+	r.advance()
+}
+
+func (r *Replay) advance() {
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0

@@ -32,6 +32,7 @@ func Train(cfg cache.Config, accesses []trace.Access, opts TrainOptions) *Agent 
 		epochs = 1
 	}
 	for e := 0; e < epochs; e++ {
+		oracle.ResetReplay() // keep reward queries on the O(1) in-order path
 		sim := cachesim.New(cfg, 1, agent)
 		agent.SetSim(sim)
 		sim.Run(accesses)
@@ -61,6 +62,7 @@ func TrainSharded(cfg cache.Config, n int, accesses []trace.Access, opts TrainOp
 		epochs = 1
 	}
 	for e := 0; e < epochs; e++ {
+		oracle.ResetReplay() // keep reward queries on the O(1) in-order path
 		sim := cachesim.New(cfg, 1, sh)
 		sh.SetSim(sim)
 		sim.Run(accesses)
