@@ -35,12 +35,15 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart = flag.Bool("chart", false, "render ASCII charts alongside the tables")
 		jobs  = flag.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS); output is identical at any value")
+		keep  = flag.Bool("keep-going", false, "on a failed grid cell or experiment, annotate and continue instead of aborting")
+		limit = flag.Duration("timeout", 0, "per-experiment wall-clock limit (0 = none); exceeded experiments fail")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	sched.SetWorkers(*jobs)
+	experiments.SetKeepGoing(*keep)
 
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
@@ -97,33 +100,60 @@ func main() {
 		elapsed time.Duration
 	}
 	suiteStart := time.Now()
-	err = sched.Stream(len(ids),
-		func(i int) (timed, error) {
-			start := time.Now()
-			tbl, err := experiments.Run(ids[i], s)
-			if err != nil {
-				return timed{}, fmt.Errorf("experiment %s: %w", ids[i], err)
+	runOne := func(i int) (timed, error) {
+		start := time.Now()
+		var tbl *stats.Table
+		job := func() error {
+			t, err := experiments.Run(ids[i], s)
+			tbl = t
+			return err
+		}
+		if *limit > 0 {
+			// An exceeded experiment fails (its abandoned goroutine keeps
+			// running; Go cannot kill it) so the rest of the suite can
+			// finish under -keep-going.
+			job = sched.Deadline(*limit)(job)
+		}
+		if err := job(); err != nil {
+			return timed{}, fmt.Errorf("experiment %s: %w", ids[i], err)
+		}
+		return timed{tbl, time.Since(start)}, nil
+	}
+	emit := func(i int, r timed) error {
+		id := ids[i]
+		switch {
+		case *csv:
+			fmt.Printf("# %s\n%s\n", id, r.tbl.CSV())
+		case *chart && id == "fig3":
+			fmt.Println(viz.HeatMap(r.tbl))
+		case *chart && len(r.tbl.Header) > 2:
+			fmt.Println(r.tbl.String())
+			fmt.Println(viz.BarChart(r.tbl, len(r.tbl.Header)-1))
+		case *chart:
+			fmt.Println(viz.BarChart(r.tbl, 1))
+		default:
+			fmt.Println(r.tbl.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v at scale %s]\n\n", id, r.elapsed.Round(time.Millisecond), s.Name)
+		return nil
+	}
+	var failedIDs []string
+	if *keep {
+		// Keep-going: every experiment runs whatever happens to its
+		// neighbours (a panic in one becomes that experiment's error);
+		// failures are reported in order and the suite exits non-zero at
+		// the end instead of aborting at the first failure.
+		err = sched.StreamAll(len(ids), runOne, func(i int, r timed, jobErr error) error {
+			if jobErr != nil {
+				failedIDs = append(failedIDs, ids[i])
+				fmt.Fprintf(os.Stderr, "[%s FAILED: %v]\n\n", ids[i], jobErr)
+				return nil
 			}
-			return timed{tbl, time.Since(start)}, nil
-		},
-		func(i int, r timed) error {
-			id := ids[i]
-			switch {
-			case *csv:
-				fmt.Printf("# %s\n%s\n", id, r.tbl.CSV())
-			case *chart && id == "fig3":
-				fmt.Println(viz.HeatMap(r.tbl))
-			case *chart && len(r.tbl.Header) > 2:
-				fmt.Println(r.tbl.String())
-				fmt.Println(viz.BarChart(r.tbl, len(r.tbl.Header)-1))
-			case *chart:
-				fmt.Println(viz.BarChart(r.tbl, 1))
-			default:
-				fmt.Println(r.tbl.String())
-			}
-			fmt.Fprintf(os.Stderr, "[%s done in %v at scale %s]\n\n", id, r.elapsed.Round(time.Millisecond), s.Name)
-			return nil
+			return emit(i, r)
 		})
+	} else {
+		err = sched.Stream(len(ids), runOne, emit)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -131,5 +161,9 @@ func main() {
 	if len(ids) > 1 {
 		fmt.Fprintf(os.Stderr, "[suite: %d experiments in %v, jobs=%d]\n",
 			len(ids), time.Since(suiteStart).Round(time.Millisecond), sched.Workers())
+	}
+	if len(failedIDs) > 0 {
+		fmt.Fprintf(os.Stderr, "[%d of %d experiments failed: %v]\n", len(failedIDs), len(ids), failedIDs)
+		os.Exit(1)
 	}
 }

@@ -35,7 +35,7 @@ func main() {
 		traceF  = flag.String("trace", "", "LLC access trace file to replay (overrides -workload)")
 		polList = flag.String("policy", "rlr", "replacement policy, or a comma-separated list (or 'belady' with -llc/-trace)")
 		llc     = flag.Bool("llc", false, "run the LLC-only simulator instead of the timing model")
-		n       = flag.Int("n", 200_000, "LLC accesses (-llc) ")
+		n       = flag.Int("n", 200_000, "LLC accesses (-llc)")
 		warmup  = flag.Uint64("warmup", 200_000, "warmup instructions (timing mode)")
 		measure = flag.Uint64("measure", 1_000_000, "measured instructions (timing mode)")
 		jobs    = flag.Int("jobs", 0, "worker-pool size for multi-policy runs (0 = GOMAXPROCS)")

@@ -4,24 +4,81 @@
 // Figure 3 weight heat map and the Figure 5–7 victim statistics, and
 // optionally save the trained model.
 //
+// Long runs can checkpoint: with -checkpoint the trainer periodically
+// snapshots its complete state (and saves on SIGINT/SIGTERM), and with
+// -resume a restarted run continues from the snapshot, producing results
+// byte-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	rltrain -workload 429.mcf -accesses 100000 -epochs 2 -out mcf.model
+//	rltrain -workload 429.mcf -checkpoint mcf.ckpt -checkpoint-every 50000
+//	rltrain -workload 429.mcf -checkpoint mcf.ckpt -resume
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/analysis"
 	"repro/internal/cachesim"
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/policy"
 	"repro/internal/profiling"
 	"repro/internal/rl"
 	"repro/internal/trace"
 )
+
+// ckptKind/ckptVersion identify rltrain's checkpoint payload: a run
+// fingerprint followed by the trainer's serialized state.
+const (
+	ckptKind    = "rltrain"
+	ckptVersion = 1
+)
+
+// saveCheckpoint atomically writes the trainer snapshot with the run
+// fingerprint prepended, so a resume against different flags is rejected
+// instead of silently producing a diverged run.
+func saveCheckpoint(path, fingerprint string, t *rl.Trainer) error {
+	return checkpoint.Save(path, ckptKind, ckptVersion, func(w io.Writer) error {
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(fingerprint))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, fingerprint); err != nil {
+			return err
+		}
+		return t.SaveState(w)
+	})
+}
+
+// loadCheckpoint restores a snapshot written by saveCheckpoint into t.
+func loadCheckpoint(path, fingerprint string, t *rl.Trainer) error {
+	return checkpoint.Load(path, ckptKind, ckptVersion, func(r io.Reader) error {
+		var n uint64
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if n > 4096 {
+			return fmt.Errorf("implausible fingerprint length %d", n)
+		}
+		got := make([]byte, n)
+		if _, err := io.ReadFull(r, got); err != nil {
+			return err
+		}
+		if string(got) != fingerprint {
+			return fmt.Errorf("checkpoint is for run %q, this run is %q (flags must match)", got, fingerprint)
+		}
+		return t.LoadState(r)
+	})
+}
 
 func main() {
 	var (
@@ -30,6 +87,9 @@ func main() {
 		epochs   = flag.Int("epochs", 1, "training passes over the trace")
 		hidden   = flag.Int("hidden", 175, "hidden-layer width")
 		out      = flag.String("out", "", "write the trained model to this file")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file for crash-safe training")
+		every    = flag.Int("checkpoint-every", 50_000, "steps between periodic checkpoints")
+		resume   = flag.Bool("resume", false, "resume from -checkpoint if it exists")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -38,6 +98,9 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *resume && *ckpt == "" {
+		fail(errors.New("-resume requires -checkpoint"))
 	}
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
@@ -63,7 +126,55 @@ func main() {
 	opts := rl.DefaultTrainOptions()
 	opts.Epochs = *epochs
 	opts.Agent.Hidden = *hidden
-	agent := rl.Train(cfg, tr, opts)
+
+	// The fingerprint pins everything that shapes the run: workload and
+	// trace length (the trace is re-captured deterministically), training
+	// shape, and cache geometry.
+	fingerprint := fmt.Sprintf("%s/%d/%d/%d/%dx%dx%d",
+		*name, len(tr), *epochs, *hidden, cfg.Sets, cfg.Ways, cfg.LineSize)
+
+	trainer := rl.NewTrainer(cfg, tr, opts)
+	if *resume {
+		switch err := loadCheckpoint(*ckpt, fingerprint, trainer); {
+		case err == nil:
+			fmt.Printf("resumed from %s at step %d (epoch %d, cursor %d)\n",
+				*ckpt, trainer.TotalSteps(), trainer.Epoch(), trainer.Cursor())
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Printf("no checkpoint at %s; starting fresh\n", *ckpt)
+		default:
+			fail(fmt.Errorf("resuming from %s: %w", *ckpt, err))
+		}
+	}
+
+	// Train step by step so we can checkpoint between steps and save on
+	// SIGINT/SIGTERM instead of losing the run.
+	sigC := make(chan os.Signal, 1)
+	if *ckpt != "" {
+		signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	}
+	interrupted := false
+	for !trainer.Done() && !interrupted {
+		trainer.Step()
+		if *ckpt != "" && *every > 0 && trainer.TotalSteps()%uint64(*every) == 0 {
+			if err := saveCheckpoint(*ckpt, fingerprint, trainer); err != nil {
+				fail(fmt.Errorf("checkpointing: %w", err))
+			}
+		}
+		select {
+		case <-sigC:
+			interrupted = true
+		default:
+		}
+	}
+	if interrupted {
+		if err := saveCheckpoint(*ckpt, fingerprint, trainer); err != nil {
+			fail(fmt.Errorf("saving interrupt checkpoint: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "\ninterrupted at step %d; state saved to %s — rerun with -resume to continue\n",
+			trainer.TotalSteps(), *ckpt)
+		os.Exit(130)
+	}
+	agent := trainer.Finish()
 
 	agentStats := rl.Evaluate(cfg, agent, tr)
 	lru := cachesim.RunPolicy(cfg, policy.MustNew("lru"), tr)

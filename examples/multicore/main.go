@@ -45,8 +45,11 @@ func main() {
 		for i := range ipcs {
 			fmt.Printf("  %.3f (LRU %.3f)", ipcs[i], base[i])
 		}
-		fmt.Printf("\n         mix speedup over LRU: %.2f%%\n\n",
-			(stats.MixSpeedup(ipcs, base)-1)*100)
+		if ms, err := stats.MixSpeedup(ipcs, base); err != nil {
+			fmt.Printf("\n         mix speedup over LRU: n/a (%v)\n\n", err)
+		} else {
+			fmt.Printf("\n         mix speedup over LRU: %.2f%%\n\n", (ms-1)*100)
+		}
 	}
 	fmt.Println("rlr-mc ranks cores by demand-hit frequency every 2000 LLC accesses")
 	fmt.Println("and folds that rank into each line's eviction priority (§IV-D).")

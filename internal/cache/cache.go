@@ -14,7 +14,10 @@
 package cache
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 
 	"repro/internal/mathx"
 	"repro/internal/trace"
@@ -290,6 +293,72 @@ func (c *Cache) Invalidate(addr uint64) Line {
 	ln := c.sets[setIdx].Lines[way]
 	c.sets[setIdx].Lines[way].Valid = false
 	return ln
+}
+
+// SaveState serializes the cache's complete contents — every line with its
+// Table II metadata plus the per-set counters — so a checkpointed
+// simulation can resume with bit-identical cache state. The geometry itself
+// is not stored; LoadState requires a cache of matching Config.
+func (c *Cache) SaveState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint64(c.cfg.Sets)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint64(c.cfg.Ways)); err != nil {
+		return err
+	}
+	for i := range c.sets {
+		s := &c.sets[i]
+		if err := binary.Write(bw, le, s.Accesses); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, s.AccessesSinceMiss); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, s.Misses); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, s.Lines); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState restores contents saved with SaveState into this cache, whose
+// geometry must match the one the state was saved from. It reads exactly
+// the bytes SaveState wrote (no read-ahead), so it can sit mid-stream in a
+// larger checkpoint; callers wanting buffering pass a buffered reader.
+func (c *Cache) LoadState(r io.Reader) error {
+	le := binary.LittleEndian
+	var sets64, ways64 uint64
+	if err := binary.Read(r, le, &sets64); err != nil {
+		return err
+	}
+	if err := binary.Read(r, le, &ways64); err != nil {
+		return err
+	}
+	if int(sets64) != c.cfg.Sets || int(ways64) != c.cfg.Ways {
+		return fmt.Errorf("cache: state geometry %dx%d does not match cache %dx%d",
+			sets64, ways64, c.cfg.Sets, c.cfg.Ways)
+	}
+	for i := range c.sets {
+		s := &c.sets[i]
+		if err := binary.Read(r, le, &s.Accesses); err != nil {
+			return err
+		}
+		if err := binary.Read(r, le, &s.AccessesSinceMiss); err != nil {
+			return err
+		}
+		if err := binary.Read(r, le, &s.Misses); err != nil {
+			return err
+		}
+		if err := binary.Read(r, le, s.Lines); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stats aggregates occupancy over the whole cache (used by tests and the

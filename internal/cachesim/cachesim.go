@@ -10,6 +10,10 @@
 package cachesim
 
 import (
+	"bufio"
+	"encoding/binary"
+	"io"
+
 	"repro/internal/cache"
 	"repro/internal/policy"
 	"repro/internal/trace"
@@ -187,6 +191,46 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 // bounded probe-table store, no allocation, no sweep.
 func (s *Simulator) touch(setIdx uint32, addr uint64) {
 	s.preuse.store(s.c.BlockAddr(addr), uint32(s.c.Set(setIdx).Accesses), uint32(s.seq))
+}
+
+// SaveState serializes the simulator's replay position, statistics, cache
+// contents, and access-preuse history so a checkpointed replay can resume
+// mid-trace with bit-identical behaviour. Policy-internal state is not
+// included; it is the caller's job to snapshot the governing policy (the
+// RL trainer serializes its agent alongside).
+func (s *Simulator) SaveState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, s.seq); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, &s.stats); err != nil {
+		return err
+	}
+	if err := s.c.SaveState(bw); err != nil {
+		return err
+	}
+	if err := s.preuse.save(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadState restores state saved with SaveState into this simulator, which
+// must have been built with the same cache geometry.
+func (s *Simulator) LoadState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	if err := binary.Read(br, le, &s.seq); err != nil {
+		return err
+	}
+	if err := binary.Read(br, le, &s.stats); err != nil {
+		return err
+	}
+	if err := s.c.LoadState(br); err != nil {
+		return err
+	}
+	return s.preuse.load(br)
 }
 
 // Run replays every access and returns the final statistics.

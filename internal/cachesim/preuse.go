@@ -1,6 +1,12 @@
 package cachesim
 
-import "repro/internal/xrand"
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/xrand"
+)
 
 // preuseWays is the probe window: each bucket holds up to preuseWays
 // entries scanned linearly, like a small set-associative cache.
@@ -84,3 +90,37 @@ func (t *preuseTable) store(block uint64, acc, seq uint32) {
 
 // size returns the table's fixed slot count (tests assert boundedness).
 func (t *preuseTable) size() int { return len(t.blocks) }
+
+// save serializes the table's slots (the geometry-derived sizing is
+// reproduced by the loader's own construction, so only a length check is
+// stored with the data).
+func (t *preuseTable) save(w io.Writer) error {
+	le := binary.LittleEndian
+	if err := binary.Write(w, le, uint64(len(t.blocks))); err != nil {
+		return err
+	}
+	for _, vec := range []any{t.blocks, t.last, t.stamp} {
+		if err := binary.Write(w, le, vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// load restores slots saved with save into this identically sized table.
+func (t *preuseTable) load(r io.Reader) error {
+	le := binary.LittleEndian
+	var n uint64
+	if err := binary.Read(r, le, &n); err != nil {
+		return err
+	}
+	if int(n) != len(t.blocks) {
+		return fmt.Errorf("cachesim: preuse table state has %d slots, table has %d", n, len(t.blocks))
+	}
+	for _, vec := range []any{t.blocks, t.last, t.stamp} {
+		if err := binary.Read(r, le, vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

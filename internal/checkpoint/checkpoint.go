@@ -1,0 +1,165 @@
+// Package checkpoint implements the on-disk snapshot envelope behind
+// fault-tolerant long runs: a kind-tagged, versioned, CRC-checksummed
+// payload written with the write-temp-then-rename protocol, so a process
+// killed at any point leaves either the previous complete snapshot or the
+// new complete snapshot on disk — never a torn file.
+//
+// The envelope is deliberately payload-agnostic: callers stream their own
+// binary state (trainer weights, replay memory, simulator contents) through
+// Save's writer callback and read it back through Load's reader callback.
+// Load verifies the magic, kind, version, declared length, and checksum
+// before the payload callback sees a single byte, so a truncated or
+// bit-flipped snapshot is reported as corruption instead of being decoded
+// into garbage state.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies a checkpoint envelope (8 bytes, version-independent;
+// the envelope's own layout is revised by changing envelopeVersion).
+const magic = "RLRCKPT\n"
+
+// envelopeVersion is the layout version of the envelope itself.
+const envelopeVersion uint32 = 1
+
+// crcTable is the ECMA polynomial table shared by Save and Load.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// maxKindLen bounds the kind string so a corrupt header cannot drive a
+// huge allocation before the checksum is verified.
+const maxKindLen = 256
+
+// CorruptError reports a snapshot that failed structural or checksum
+// validation. Callers typically treat it like a missing checkpoint (start
+// fresh) after surfacing the reason.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("checkpoint: %s is not a valid snapshot: %s", e.Path, e.Reason)
+}
+
+// MismatchError reports a structurally valid snapshot whose kind or
+// payload version does not match what the caller asked for.
+type MismatchError struct {
+	Path                 string
+	WantKind, GotKind    string
+	WantVersion, GotVers uint32
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("checkpoint: %s holds kind %q version %d, want kind %q version %d",
+		e.Path, e.GotKind, e.GotVers, e.WantKind, e.WantVersion)
+}
+
+// Save atomically writes a snapshot to path: the payload produced by write
+// is wrapped in the checksummed envelope, written to a temporary file in
+// path's directory, synced, and renamed over path. On any error the
+// previous snapshot (if one exists) is left untouched.
+func Save(path, kind string, version uint32, write func(w io.Writer) error) error {
+	if len(kind) == 0 || len(kind) > maxKindLen {
+		return fmt.Errorf("checkpoint: kind must be 1..%d bytes, got %d", maxKindLen, len(kind))
+	}
+	var payload bytes.Buffer
+	if err := write(&payload); err != nil {
+		return fmt.Errorf("checkpoint: serializing payload: %w", err)
+	}
+
+	var env bytes.Buffer
+	env.WriteString(magic)
+	le := binary.LittleEndian
+	binary.Write(&env, le, envelopeVersion)
+	binary.Write(&env, le, uint32(len(kind)))
+	env.WriteString(kind)
+	binary.Write(&env, le, version)
+	binary.Write(&env, le, uint64(payload.Len()))
+	env.Write(payload.Bytes())
+	binary.Write(&env, le, crc64.Checksum(env.Bytes(), crcTable))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(env.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: publishing snapshot: %w", err)
+	}
+	// Best-effort directory sync so the rename itself survives a crash.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and fully validates the snapshot at path, then hands the
+// payload to read. A file that does not exist is reported with the
+// underlying os error (check with os.IsNotExist); structural damage is a
+// *CorruptError; a kind/version disagreement is a *MismatchError.
+func Load(path, kind string, version uint32, read func(r io.Reader) error) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	corrupt := func(reason string) error { return &CorruptError{Path: path, Reason: reason} }
+	le := binary.LittleEndian
+
+	// Fixed prefix: magic + envelope version + kind length.
+	if len(raw) < len(magic)+8 {
+		return corrupt("file shorter than the envelope header")
+	}
+	if string(raw[:len(magic)]) != magic {
+		return corrupt("bad magic")
+	}
+	off := len(magic)
+	if v := le.Uint32(raw[off:]); v != envelopeVersion {
+		return corrupt(fmt.Sprintf("unsupported envelope version %d", v))
+	}
+	off += 4
+	kindLen := int(le.Uint32(raw[off:]))
+	off += 4
+	if kindLen <= 0 || kindLen > maxKindLen || len(raw) < off+kindLen+12 {
+		return corrupt("implausible kind length")
+	}
+	gotKind := string(raw[off : off+kindLen])
+	off += kindLen
+	gotVersion := le.Uint32(raw[off:])
+	off += 4
+	payloadLen := le.Uint64(raw[off:])
+	off += 8
+	if uint64(len(raw)) != uint64(off)+payloadLen+8 {
+		return corrupt("declared payload length disagrees with file size")
+	}
+	sum := le.Uint64(raw[len(raw)-8:])
+	if crc64.Checksum(raw[:len(raw)-8], crcTable) != sum {
+		return corrupt("checksum mismatch")
+	}
+	if gotKind != kind || gotVersion != version {
+		return &MismatchError{Path: path, WantKind: kind, GotKind: gotKind,
+			WantVersion: version, GotVers: gotVersion}
+	}
+	return read(bytes.NewReader(raw[off : uint64(off)+payloadLen]))
+}

@@ -1,0 +1,184 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBlob(blob []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	}
+}
+
+func readBlob(dst *[]byte) func(io.Reader) error {
+	return func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		*dst = b
+		return err
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	payload := []byte("the quick brown fox\x00\x01\x02")
+	if err := Save(path, "test-kind", 3, writeBlob(payload)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var got []byte
+	if err := Load(path, "test-kind", 3, readBlob(&got)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: got %q want %q", got, payload)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := Save(path, "empty", 1, writeBlob(nil)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var got []byte
+	if err := Load(path, "empty", 1, readBlob(&got)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty payload, got %d bytes", len(got))
+	}
+}
+
+func TestKindAndVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := Save(path, "kind-a", 2, writeBlob([]byte("x"))); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var mm *MismatchError
+	if err := Load(path, "kind-b", 2, readBlob(new([]byte))); !errors.As(err, &mm) {
+		t.Fatalf("wrong kind: got %v, want MismatchError", err)
+	}
+	if err := Load(path, "kind-a", 3, readBlob(new([]byte))); !errors.As(err, &mm) {
+		t.Fatalf("wrong version: got %v, want MismatchError", err)
+	}
+}
+
+// Every single-byte corruption anywhere in the file must surface as an
+// error, never as a silently different payload.
+func TestDetectsEveryByteFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	payload := []byte("checkpoint payload under test")
+	if err := Save(path, "flip", 1, writeBlob(payload)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		if err := Load(path, "flip", 1, readBlob(&got)); err == nil {
+			t.Fatalf("byte %d flipped: Load succeeded with payload %q", i, got)
+		}
+	}
+}
+
+func TestDetectsTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := Save(path, "trunc", 1, writeBlob([]byte("some payload bytes"))); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, len(orig) / 2, len(orig) - 1} {
+		if err := os.WriteFile(path, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var ce *CorruptError
+		if err := Load(path, "trunc", 1, readBlob(new([]byte))); !errors.As(err, &ce) {
+			t.Fatalf("truncated to %d bytes: got %v, want CorruptError", n, err)
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck")
+	if err := Save(path, "atomic", 1, writeBlob([]byte("old"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, "atomic", 1, writeBlob([]byte("new"))); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := Load(path, "atomic", 1, readBlob(&got)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("got %q want %q", got, "new")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}
+
+// A failing payload writer must not clobber the previous checkpoint.
+func TestFailedSaveKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck")
+	if err := Save(path, "keep", 1, writeBlob([]byte("good"))); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("writer failed")
+	if err := Save(path, "keep", 1, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Save with failing writer: got %v, want %v", err, boom)
+	}
+	var got []byte
+	if err := Load(path, "keep", 1, readBlob(&got)); err != nil {
+		t.Fatalf("previous checkpoint unreadable after failed save: %v", err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("got %q want %q", got, "good")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind after failed save: %d entries", len(entries))
+	}
+}
+
+func TestRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := os.WriteFile(path, []byte("not a checkpoint at all, just text"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	err := Load(path, "any", 1, readBlob(new([]byte)))
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want CorruptError", err)
+	}
+	if !strings.Contains(ce.Error(), path) {
+		t.Fatalf("error should name the file: %v", ce)
+	}
+}

@@ -64,7 +64,7 @@ func runAblation(s Scale) (*stats.Table, error) {
 	}
 	overall := []string{"Overall"}
 	for vi := range variants {
-		overall = append(overall, stats.Pct(stats.GeoMeanSpeedupPct(ratios[vi])))
+		overall = append(overall, overallCell(ratios[vi]))
 	}
 	tbl.Rows = append(tbl.Rows, overall)
 	return tbl, nil

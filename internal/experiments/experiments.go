@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
@@ -127,6 +128,20 @@ func List() []Experiment {
 	})
 	return out
 }
+
+// keepGoing makes grid runners degrade a failed (workload × policy) cell
+// into a table annotation instead of failing the whole experiment — the
+// -keep-going mode for long unattended sweeps.
+var keepGoing atomic.Bool
+
+// SetKeepGoing toggles keep-going mode for subsequent runs.
+func SetKeepGoing(v bool) { keepGoing.Store(v) }
+
+// FaultHook, when non-nil, is invoked at the top of every uncached timing
+// run with the cell's (workload, policy) pair. Tests inject errors or
+// panics here to exercise failure isolation; production runs leave it nil.
+// Set it only while no experiments are running.
+var FaultHook func(bench, pol string) error
 
 // Run executes the experiment with the given id.
 func Run(id string, s Scale) (*stats.Table, error) {
@@ -316,6 +331,11 @@ func runIPC(name string, pol policy.Policy, s Scale) (uarch.Result, error) {
 // runIPCUncached is runIPC without memoization, for policy variants that
 // share a registered name (the ablation sweeps).
 func runIPCUncached(name string, pol policy.Policy, s Scale) (uarch.Result, error) {
+	if FaultHook != nil {
+		if err := FaultHook(name, pol.Name()); err != nil {
+			return uarch.Result{}, err
+		}
+	}
 	spec, err := workloads.ByName(name)
 	if err != nil {
 		return uarch.Result{}, err

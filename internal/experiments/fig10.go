@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"strings"
+
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/policy"
@@ -63,24 +65,77 @@ var ipcPolicies = []struct {
 // independent deterministic simulation; runIPC's singleflight memo means
 // the LRU baseline each row shares with fig12/tab4 is computed exactly
 // once no matter how many cells ask for it concurrently.
-func ipcGrid(names []string, s Scale) ([][]uarch.Result, error) {
+//
+// In keep-going mode the returned error is nil and the second grid carries
+// each cell's error (nil for good cells): a failed cell annotates its row
+// while every other cell's result is identical to a fault-free run.
+// Otherwise the second grid is nil and a failed cell fails the call with
+// the lowest-index error a serial run would have hit.
+func ipcGrid(names []string, s Scale) ([][]uarch.Result, [][]error, error) {
 	cols := len(ipcPolicies) + 1
-	flat, err := sched.Map(len(names)*cols, func(k int) (uarch.Result, error) {
+	cell := func(k int) (uarch.Result, error) {
 		bench := names[k/cols]
 		polName := "lru"
 		if j := k % cols; j > 0 {
 			polName = ipcPolicies[j-1].Name
 		}
 		return runIPC(bench, policy.MustNew(polName), s)
-	})
-	if err != nil {
-		return nil, err
+	}
+	var flat []uarch.Result
+	var flatErrs []error
+	if keepGoing.Load() {
+		flat, flatErrs = sched.MapAll(len(names)*cols, cell)
+	} else {
+		var err error
+		flat, err = sched.Map(len(names)*cols, cell)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	grid := make([][]uarch.Result, len(names))
+	var errGrid [][]error
+	if flatErrs != nil {
+		errGrid = make([][]error, len(names))
+	}
 	for i := range grid {
 		grid[i] = flat[i*cols : (i+1)*cols]
+		if flatErrs != nil {
+			errGrid[i] = flatErrs[i*cols : (i+1)*cols]
+		}
 	}
-	return grid, nil
+	return grid, errGrid, nil
+}
+
+// cellErr returns errs[i][j] if the error grid exists, else nil.
+func cellErr(errs [][]error, i, j int) error {
+	if errs == nil {
+		return nil
+	}
+	return errs[i][j]
+}
+
+// shortErr compresses an error to its first line, truncated, for use as a
+// table annotation cell.
+func shortErr(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 80 {
+		s = s[:77] + "..."
+	}
+	return s
+}
+
+// overallCell formats a geomean-aggregate percentage cell. A degenerate
+// set of ratios (a non-positive entry, e.g. from a failed cell under
+// -keep-going) renders as "n/a" instead of failing the whole table.
+func overallCell(ratios []float64) string {
+	pct, err := stats.GeoMeanSpeedupPct(ratios)
+	if err != nil {
+		return "n/a"
+	}
+	return stats.Pct(pct)
 }
 
 // speedupTable runs the single-core IPC comparison over the given
@@ -93,7 +148,7 @@ func speedupTable(title string, names []string, s Scale) (*stats.Table, map[stri
 	for _, p := range ipcPolicies {
 		tbl.Header = append(tbl.Header, p.Label)
 	}
-	grid, err := ipcGrid(names, s)
+	grid, gridErrs, err := ipcGrid(names, s)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -104,16 +159,32 @@ func speedupTable(title string, names []string, s Scale) (*stats.Table, map[stri
 		// (they reuse the same keys rather than re-running LRU).
 		base := grid[i][0]
 		row := []string{bench}
+		if baseErr := cellErr(gridErrs, i, 0); baseErr != nil {
+			// No baseline → no speedup is computable for this benchmark.
+			for range ipcPolicies {
+				row = append(row, "n/a")
+			}
+			row = append(row, "FAILED lru: "+shortErr(baseErr))
+			tbl.Rows = append(tbl.Rows, row)
+			continue
+		}
+		var failed []string
 		for j, p := range ipcPolicies {
+			if err := cellErr(gridErrs, i, j+1); err != nil {
+				row = append(row, "n/a")
+				failed = append(failed, "FAILED "+p.Name+": "+shortErr(err))
+				continue
+			}
 			res := grid[i][j+1]
 			ratios[p.Name] = append(ratios[p.Name], res.IPC()/base.IPC())
 			row = append(row, stats.Pct(stats.SpeedupPct(res.IPC(), base.IPC())))
 		}
+		row = append(row, failed...)
 		tbl.Rows = append(tbl.Rows, row)
 	}
 	overall := []string{"Overall"}
 	for _, p := range ipcPolicies {
-		overall = append(overall, stats.Pct(stats.GeoMeanSpeedupPct(ratios[p.Name])))
+		overall = append(overall, overallCell(ratios[p.Name]))
 	}
 	tbl.Rows = append(tbl.Rows, overall)
 	return tbl, ratios, nil
@@ -146,32 +217,65 @@ func runFig12(s Scale) (*stats.Table, error) {
 	// already ran (or run concurrently) no LRU cell is ever re-simulated —
 	// the baseline is hoisted through the memo instead of re-run per table.
 	names := workloads.SPECNames()
-	bases, err := sched.Map(len(names), func(i int) (uarch.Result, error) {
+	baseCell := func(i int) (uarch.Result, error) {
 		return runIPC(names[i], policy.MustNew("lru"), s)
-	})
-	if err != nil {
-		return nil, err
+	}
+	var bases []uarch.Result
+	var baseErrs []error
+	if keepGoing.Load() {
+		bases, baseErrs = sched.MapAll(len(names), baseCell)
+	} else {
+		var err error
+		bases, err = sched.Map(len(names), baseCell)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Phase 2: the policy grid, restricted to the memory-intensive subset
 	// the paper plots (running policies on filtered-out benchmarks would
-	// be wasted work a serial run never did).
+	// be wasted work a serial run never did). A benchmark whose baseline
+	// failed under keep-going is annotated and dropped from the grid.
 	var kept []string
+	baseFailed := make(map[string]error)
 	baseByName := make(map[string]uarch.Result, len(names))
 	for i, bench := range names {
+		if baseErrs != nil && baseErrs[i] != nil {
+			baseFailed[bench] = baseErrs[i]
+			continue
+		}
 		if bases[i].DemandMPKI > 3 {
 			kept = append(kept, bench)
 			baseByName[bench] = bases[i]
 		}
 	}
-	grid, err := ipcGrid(kept, s)
+	grid, gridErrs, err := ipcGrid(kept, s)
 	if err != nil {
 		return nil, err
 	}
-	for i, bench := range kept {
+	// Emit rows in benchmark order, interleaving baseline-failure
+	// annotations where the benchmark's row would have gone.
+	ki := 0
+	for _, bench := range names {
+		if err, ok := baseFailed[bench]; ok {
+			tbl.AddRow(bench, "n/a", "FAILED lru: "+shortErr(err))
+			continue
+		}
+		if ki >= len(kept) || kept[ki] != bench {
+			continue // filtered out by the MPKI > 3 cut
+		}
+		i := ki
+		ki++
 		row := []string{bench, stats.F2(baseByName[bench].DemandMPKI)}
-		for j := range ipcPolicies {
+		var failed []string
+		for j, p := range ipcPolicies {
+			if err := cellErr(gridErrs, i, j+1); err != nil {
+				row = append(row, "n/a")
+				failed = append(failed, "FAILED "+p.Name+": "+shortErr(err))
+				continue
+			}
 			row = append(row, stats.F2(grid[i][j+1].DemandMPKI))
 		}
+		row = append(row, failed...)
 		tbl.Rows = append(tbl.Rows, row)
 	}
 	return tbl, nil
@@ -216,8 +320,6 @@ func runKPCP(s Scale) (*stats.Table, error) {
 		rlrRatios = append(rlrRatios, rr/base)
 		tbl.AddRow(bench, stats.Pct(stats.SpeedupPct(kr, base)), stats.Pct(stats.SpeedupPct(rr, base)))
 	}
-	tbl.AddRow("Overall",
-		stats.Pct(stats.GeoMeanSpeedupPct(krRatios)),
-		stats.Pct(stats.GeoMeanSpeedupPct(rlrRatios)))
+	tbl.AddRow("Overall", overallCell(krRatios), overallCell(rlrRatios))
 	return tbl, nil
 }

@@ -74,12 +74,20 @@ func mixSpeedups(mixes [][]string, s Scale) (map[string]float64, error) {
 		for i := range mixes {
 			base := flat[i*cols]
 			for j, p := range mcPolicies {
-				perPolicy[p.Name] = append(perPolicy[p.Name], stats.MixSpeedup(flat[i*cols+j+1], base))
+				ms, err := stats.MixSpeedup(flat[i*cols+j+1], base)
+				if err != nil {
+					return nil, fmt.Errorf("mix %v under %s: %w", mixes[i], p.Name, err)
+				}
+				perPolicy[p.Name] = append(perPolicy[p.Name], ms)
 			}
 		}
 		out := make(map[string]float64, len(mcPolicies))
 		for _, p := range mcPolicies {
-			out[p.Name] = stats.GeoMeanSpeedupPct(perPolicy[p.Name])
+			pct, err := stats.GeoMeanSpeedupPct(perPolicy[p.Name])
+			if err != nil {
+				return nil, fmt.Errorf("aggregating %s mix speedups: %w", p.Name, err)
+			}
+			out[p.Name] = pct
 		}
 		return out, nil
 	})
@@ -161,8 +169,8 @@ func runTab4(s Scale) (*stats.Table, error) {
 			mc = m
 		}
 		tbl.AddRow(p.Label,
-			stats.Pct(stats.GeoMeanSpeedupPct(specRatios[p.Name])),
-			stats.Pct(stats.GeoMeanSpeedupPct(cloudRatios[p.Name])),
+			overallCell(specRatios[p.Name]),
+			overallCell(cloudRatios[p.Name]),
 			stats.Pct(spec4[mc]),
 			stats.Pct(cloud4[mc]))
 	}

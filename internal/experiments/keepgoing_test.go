@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shipCol is the SHiP column index in a speedupTable row (column 0 is the
+// benchmark name, then the ipcPolicies order).
+func shipCol(t *testing.T) int {
+	t.Helper()
+	for j, p := range ipcPolicies {
+		if p.Name == "ship" {
+			return j + 1
+		}
+	}
+	t.Fatal("ship not in ipcPolicies")
+	return -1
+}
+
+// TestKeepGoingPanicIsolation injects a panic into exactly one
+// (benchmark, policy) timing cell and checks that under keep-going the
+// sweep still completes: the faulted cell becomes an "n/a" plus a FAILED
+// annotation, and every other cell — including the rest of the faulted
+// benchmark's row — is byte-identical to a fault-free run.
+func TestKeepGoingPanicIsolation(t *testing.T) {
+	s := tinyScale()
+	names := []string{"429.mcf", "470.lbm", "453.povray"}
+	col := shipCol(t)
+
+	// Fault-free reference sweep, from cold caches so both sweeps do the
+	// same work.
+	ResetCaches()
+	ref, _, err := speedupTable("subset", names, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same sweep with one cell panicking, under keep-going.
+	ResetCaches()
+	FaultHook = func(bench, pol string) error {
+		if bench == "470.lbm" && pol == "ship" {
+			panic("injected fault in " + bench + "/" + pol)
+		}
+		return nil
+	}
+	SetKeepGoing(true)
+	t.Cleanup(func() {
+		FaultHook = nil
+		SetKeepGoing(false)
+		ResetCaches()
+	})
+	got, _, err := speedupTable("subset", names, s)
+	if err != nil {
+		t.Fatalf("keep-going sweep aborted instead of continuing: %v", err)
+	}
+
+	if len(got.Rows) != len(ref.Rows) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(ref.Rows))
+	}
+	// Rows for benchmarks that never faulted are byte-identical.
+	for _, i := range []int{0, 2} {
+		if !reflect.DeepEqual(got.Rows[i], ref.Rows[i]) {
+			t.Errorf("unfaulted row %d diverged:\n got %q\nwant %q", i, got.Rows[i], ref.Rows[i])
+		}
+	}
+	// The faulted row: SHiP cell is "n/a", a FAILED annotation is appended
+	// past the header width, and every other cell matches the reference.
+	faulted, refRow := got.Rows[1], ref.Rows[1]
+	if faulted[col] != "n/a" {
+		t.Errorf("faulted cell = %q, want n/a", faulted[col])
+	}
+	if len(faulted) != len(refRow)+1 {
+		t.Fatalf("faulted row has %d cells, want %d (row + annotation)", len(faulted), len(refRow)+1)
+	}
+	note := faulted[len(faulted)-1]
+	if !strings.HasPrefix(note, "FAILED ship: ") || !strings.Contains(note, "panicked") {
+		t.Errorf("annotation %q does not name the panicking cell", note)
+	}
+	for j := range refRow {
+		if j == col {
+			continue
+		}
+		if faulted[j] != refRow[j] {
+			t.Errorf("faulted row cell %d diverged: got %q want %q", j, faulted[j], refRow[j])
+		}
+	}
+	// The Overall geomean row: only the SHiP aggregate may differ (it lost
+	// one ratio); the other policies aggregate identical inputs.
+	last := len(got.Rows) - 1
+	for j, cell := range got.Rows[last] {
+		if j == col {
+			continue
+		}
+		if cell != ref.Rows[last][j] {
+			t.Errorf("Overall cell %d diverged: got %q want %q", j, cell, ref.Rows[last][j])
+		}
+	}
+	// The annotated table renders: the over-wide row exercises the
+	// writeRow width clamp rather than panicking.
+	if out := got.String(); !strings.Contains(out, "FAILED ship: ") {
+		t.Errorf("rendered table lost the annotation:\n%s", out)
+	}
+}
+
+// TestWithoutKeepGoingPanicFailsSweep pins the default behaviour: the same
+// injected panic without keep-going fails the whole sweep with a
+// *sched.PanicError-derived error instead of annotating.
+func TestWithoutKeepGoingPanicFailsSweep(t *testing.T) {
+	s := tinyScale()
+	ResetCaches()
+	FaultHook = func(bench, pol string) error {
+		if bench == "470.lbm" && pol == "ship" {
+			panic("injected fault")
+		}
+		return nil
+	}
+	t.Cleanup(func() {
+		FaultHook = nil
+		ResetCaches()
+	})
+	_, _, err := speedupTable("subset", []string{"429.mcf", "470.lbm"}, s)
+	if err == nil {
+		t.Fatal("panicking cell did not fail the sweep")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("error %q does not identify the panic", err)
+	}
+}

@@ -4,25 +4,28 @@
 package mathx
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
 
-// GeoMean returns the geometric mean of xs. It returns 0 for an empty slice
-// and panics if any value is non-positive, since the geometric mean of the
-// IPC speedups this repository computes is only defined for positive inputs.
-func GeoMean(xs []float64) float64 {
+// GeoMean returns the geometric mean of xs, which is only defined for
+// positive inputs (the IPC speedups this repository aggregates). It returns
+// 0 for an empty slice and an error naming the offending value for
+// non-positive input, so one degenerate cell in a long sweep surfaces as an
+// annotated result instead of tearing the whole run down.
+func GeoMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
-	for _, x := range xs {
+	for i, x := range xs {
 		if x <= 0 {
-			panic("mathx: GeoMean of non-positive value")
+			return 0, fmt.Errorf("mathx: GeoMean undefined for non-positive value %g at index %d", x, i)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.

@@ -19,19 +19,24 @@ func TestGeoMean(t *testing.T) {
 		{nil, 0},
 	}
 	for _, c := range cases {
-		if got := GeoMean(c.in); !almostEqual(got, c.want, 1e-12) {
+		got, err := GeoMean(c.in)
+		if err != nil {
+			t.Errorf("GeoMean(%v): %v", c.in, err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
 			t.Errorf("GeoMean(%v) = %v, want %v", c.in, got, c.want)
 		}
 	}
 }
 
-func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("GeoMean with 0 did not panic")
+func TestGeoMeanErrorsOnNonPositive(t *testing.T) {
+	// Regression: non-positive input used to panic, taking down a whole
+	// sweep over one degenerate value; it must now return an error.
+	for _, in := range [][]float64{{1, 0, 2}, {-3}, {2, 8, -1e-9}} {
+		if _, err := GeoMean(in); err == nil {
+			t.Errorf("GeoMean(%v) returned nil error", in)
 		}
-	}()
-	GeoMean([]float64{1, 0, 2})
+	}
 }
 
 func TestGeoMeanLEArithmeticMean(t *testing.T) {
@@ -47,7 +52,8 @@ func TestGeoMeanLEArithmeticMean(t *testing.T) {
 		if len(xs) == 0 {
 			return true
 		}
-		return GeoMean(xs) <= Mean(xs)*(1+1e-9)
+		gm, err := GeoMean(xs)
+		return err == nil && gm <= Mean(xs)*(1+1e-9)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -319,7 +319,14 @@ func (m *MLP) MeanAbsInputWeight(i int) float64 {
 	return sum / float64(len(ws))
 }
 
-const mlpMagic = "RLRNN1\n"
+const (
+	mlpMagic = "RLRNN1\n"
+	// mlpFullMagic heads the full-training-state format: the RLRNN1 layout
+	// followed by the Adam step counter and per-layer first/second moments.
+	// Resuming a checkpointed run from this state is bit-exact: the next
+	// AdamStep sees the same t, m, and v an uninterrupted run would.
+	mlpFullMagic = "RLRNN1F\n"
+)
 
 // Save serializes the network (architecture + weights) to w.
 func (m *MLP) Save(w io.Writer) error {
@@ -349,6 +356,110 @@ func (m *MLP) Save(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// SaveFull serializes the network's complete training state: architecture,
+// weights, and the Adam optimizer state (step counter and both moment
+// vectors). Accumulated gradients are NOT saved — they are only ever
+// non-zero inside a training step, and checkpoints are taken between steps.
+func (m *MLP) SaveFull(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(mlpFullMagic); err != nil {
+		return err
+	}
+	write := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := write(uint64(m.layers[0].in)); err != nil {
+		return err
+	}
+	if err := write(uint64(len(m.layers))); err != nil {
+		return err
+	}
+	for _, l := range m.layers {
+		if err := write(uint64(l.out)); err != nil {
+			return err
+		}
+		if err := write(uint64(l.act)); err != nil {
+			return err
+		}
+		for _, vec := range [][]float64{l.w, l.b, l.mw, l.vw, l.mb, l.vb} {
+			if err := binary.Write(bw, binary.LittleEndian, vec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := write(uint64(m.t)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadFull deserializes a network saved with SaveFull. It reads exactly
+// the bytes SaveFull wrote — no read-ahead buffering — so it can sit in
+// the middle of a larger stream (a trainer checkpoint) without consuming
+// the sections that follow it.
+func LoadFull(r io.Reader) (*MLP, error) {
+	head := make([]byte, len(mlpFullMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if string(head) != mlpFullMagic {
+		return nil, errors.New("nn: bad full-state magic")
+	}
+	var in64, nLayers uint64
+	if err := binary.Read(r, binary.LittleEndian, &in64); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nLayers); err != nil {
+		return nil, err
+	}
+	if in64 == 0 || in64 > 1<<20 || nLayers == 0 || nLayers > 64 {
+		return nil, fmt.Errorf("nn: implausible full-state header (in=%d layers=%d)", in64, nLayers)
+	}
+	specs := make([]LayerSpec, 0, nLayers)
+	type raw struct{ vecs [6][]float64 }
+	raws := make([]raw, 0, nLayers)
+	in := int(in64)
+	for li := uint64(0); li < nLayers; li++ {
+		var out64, act64 uint64
+		if err := binary.Read(r, binary.LittleEndian, &out64); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &act64); err != nil {
+			return nil, err
+		}
+		if out64 == 0 || out64 > 1<<20 || act64 > uint64(ReLU) {
+			return nil, fmt.Errorf("nn: implausible layer header (out=%d act=%d)", out64, act64)
+		}
+		var rw raw
+		for v := range rw.vecs {
+			n := int(out64) * in
+			if v == 1 || v == 4 || v == 5 { // b, mb, vb are out-sized
+				n = int(out64)
+			}
+			rw.vecs[v] = make([]float64, n)
+			if err := binary.Read(r, binary.LittleEndian, rw.vecs[v]); err != nil {
+				return nil, err
+			}
+		}
+		specs = append(specs, LayerSpec{Units: int(out64), Act: Activation(act64)})
+		raws = append(raws, rw)
+		in = int(out64)
+	}
+	var t64 uint64
+	if err := binary.Read(r, binary.LittleEndian, &t64); err != nil {
+		return nil, err
+	}
+	m := NewMLP(int(in64), 0, specs...)
+	for i, l := range m.layers {
+		copy(l.w, raws[i].vecs[0])
+		copy(l.b, raws[i].vecs[1])
+		copy(l.mw, raws[i].vecs[2])
+		copy(l.vw, raws[i].vecs[3])
+		copy(l.mb, raws[i].vecs[4])
+		copy(l.vb, raws[i].vecs[5])
+	}
+	m.t = int(t64)
+	return m, nil
 }
 
 // Load deserializes a network saved with Save.

@@ -135,6 +135,26 @@ func (o *Oracle) ResetReplay() {
 	}
 }
 
+// SeekReplay positions the in-order cursor as if the trace had been
+// replayed through access pos-1: head holds, for every block, its first
+// reference at index >= pos. Checkpoint resume uses it to rebuild the
+// cursor state deterministically instead of serializing the head map; the
+// resulting state answers every subsequent in-order query identically to a
+// cursor that advanced organically to any position <= pos (queries only
+// ever look forward).
+func (o *Oracle) SeekReplay(pos uint64) {
+	if pos < o.pos {
+		o.ResetReplay()
+	}
+	if pos > o.length {
+		pos = o.length
+	}
+	for o.pos < pos {
+		o.head[o.blocks[o.pos]] = o.next[o.pos]
+		o.pos++
+	}
+}
+
 // ReuseDistance returns the number of trace accesses until addr's block is
 // referenced again after seq, or NeverUsed.
 func (o *Oracle) ReuseDistance(addr uint64, seq uint64) uint64 {

@@ -179,6 +179,14 @@ func (f *Featurizer) Build(dst []float64, ctx policy.AccessCtx, set *cache.Set, 
 	put(f.enabled[FSetAccesses], norm(float64(set.Accesses), capSetAcc))
 	put(f.enabled[FSetAccessSinceMiss], norm(float64(set.AccessesSinceMiss), capPreuse))
 
+	// In a direct-mapped cache (Ways == 1) recency is always 0; the
+	// denominator must not collapse to 0, which would put NaN (0/0) into
+	// the state vector and poison the network.
+	recencyDen := float64(f.cfg.Ways - 1)
+	if f.cfg.Ways <= 1 {
+		recencyDen = 1
+	}
+
 	// Per-way line information (20 each).
 	for w := 0; w < f.cfg.Ways; w++ {
 		ln := &set.Lines[w]
@@ -197,7 +205,7 @@ func (f *Featurizer) Build(dst []float64, ctx policy.AccessCtx, set *cache.Set, 
 		put(f.enabled[FLinePFCount], norm(float64(ln.PrefetchCount), capCount))
 		put(f.enabled[FLineWBCount], norm(float64(ln.WritebackCount), capCount))
 		put(f.enabled[FLineHits], norm(float64(ln.HitsSinceInsert), capCount))
-		put(f.enabled[FLineRecency], norm(float64(ln.Recency), float64(f.cfg.Ways-1)))
+		put(f.enabled[FLineRecency], norm(float64(ln.Recency), recencyDen))
 	}
 	if pos != len(dst) {
 		panic(fmt.Sprintf("rl: featurizer filled %d of %d slots", pos, len(dst)))

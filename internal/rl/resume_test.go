@@ -1,0 +1,140 @@
+package rl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// finalState drives t to completion and returns its full serialized state:
+// networks with optimizer moments, replay ring, RNG, counters. Byte
+// equality of two final states is the strongest "same run" check we have.
+func finalState(t *testing.T, tr *Trainer) []byte {
+	t.Helper()
+	tr.Run()
+	var buf bytes.Buffer
+	if err := tr.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestTrainerMatchesTrain(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 2
+	accesses := cyclicTrace(6, 60)
+
+	agent := Train(cc, accesses, opts)
+	want := Evaluate(cc, agent, accesses)
+
+	tr := NewTrainer(cc, accesses, opts)
+	steps := 0
+	for tr.Step() {
+		steps++
+	}
+	got := Evaluate(cc, tr.Finish(), accesses)
+	if got != want {
+		t.Errorf("Trainer and Train diverge: %+v vs %+v", got, want)
+	}
+	if wantSteps := len(accesses)*opts.Epochs - 1; steps != wantSteps {
+		t.Errorf("Step returned true %d times, want %d", steps, wantSteps)
+	}
+	if tr.TotalSteps() != uint64(len(accesses)*opts.Epochs) {
+		t.Errorf("TotalSteps = %d, want %d", tr.TotalSteps(), len(accesses)*opts.Epochs)
+	}
+}
+
+// TestResumeByteIdentical is the tentpole guarantee: a run snapshotted at an
+// arbitrary step and resumed into a fresh trainer finishes with state
+// byte-identical to an uninterrupted run. Cut points cover mid-epoch ones in
+// both epochs, the exact epoch boundary (no live simulator), and the
+// penultimate step.
+func TestResumeByteIdentical(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 2
+	accesses := cyclicTrace(6, 50) // 300 accesses, 600 total steps
+	total := len(accesses) * opts.Epochs
+
+	ref := finalState(t, NewTrainer(cc, accesses, opts))
+
+	for _, cut := range []int{1, 37, len(accesses) - 1, len(accesses), len(accesses) + 123, total - 1} {
+		// Run to the cut point and snapshot.
+		tr := NewTrainer(cc, accesses, opts)
+		for i := 0; i < cut; i++ {
+			if !tr.Step() {
+				t.Fatalf("cut %d: trainer finished early at step %d", cut, i)
+			}
+		}
+		var snap bytes.Buffer
+		if err := tr.SaveState(&snap); err != nil {
+			t.Fatalf("cut %d: SaveState: %v", cut, err)
+		}
+		// Resume into a completely fresh trainer, as a restarted process
+		// would, and finish.
+		res := NewTrainer(cc, accesses, opts)
+		if err := res.LoadState(bytes.NewReader(snap.Bytes())); err != nil {
+			t.Fatalf("cut %d: LoadState: %v", cut, err)
+		}
+		if res.TotalSteps() != uint64(cut) {
+			t.Fatalf("cut %d: resumed TotalSteps = %d", cut, res.TotalSteps())
+		}
+		if got := finalState(t, res); !bytes.Equal(got, ref) {
+			t.Errorf("cut %d: resumed final state differs from uninterrupted run (%d vs %d bytes)",
+				cut, len(got), len(ref))
+		}
+	}
+}
+
+// A snapshot must also be re-loadable more than once (e.g. two restarts from
+// the same checkpoint) with identical results.
+func TestResumeTwiceFromSameSnapshot(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 1
+	accesses := cyclicTrace(6, 40)
+
+	tr := NewTrainer(cc, accesses, opts)
+	for i := 0; i < 100; i++ {
+		tr.Step()
+	}
+	var snap bytes.Buffer
+	if err := tr.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		r := NewTrainer(cc, accesses, opts)
+		if err := r.LoadState(bytes.NewReader(snap.Bytes())); err != nil {
+			t.Fatalf("LoadState: %v", err)
+		}
+		return finalState(t, r)
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("two resumes from the same snapshot diverge")
+	}
+}
+
+func TestLoadStateRejectsMismatchedRun(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 1
+	accesses := cyclicTrace(6, 40)
+	tr := NewTrainer(cc, accesses, opts)
+	for i := 0; i < 50; i++ {
+		tr.Step()
+	}
+	var snap bytes.Buffer
+	if err := tr.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different trace length.
+	other := NewTrainer(cc, cyclicTrace(6, 41), opts)
+	if err := other.LoadState(bytes.NewReader(snap.Bytes())); err == nil {
+		t.Error("LoadState accepted a snapshot for a different trace length")
+	}
+
+	// Different geometry: the network widths no longer fit.
+	wideCfg := cc
+	wideCfg.Ways = 8
+	wide := NewTrainer(wideCfg, accesses, opts)
+	if err := wide.LoadState(bytes.NewReader(snap.Bytes())); err == nil {
+		t.Error("LoadState accepted a snapshot for a different cache geometry")
+	}
+}

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"repro/internal/cache"
@@ -53,6 +54,25 @@ func buildState(t *testing.T, fs FeatureSet, a trace.Access) ([]float64, *Featur
 	dst := make([]float64, f.VectorSize())
 	f.Build(dst, policy.AccessCtx{Access: a, SetIdx: setIdx}, c.Set(setIdx), 5)
 	return dst, f
+}
+
+func TestDirectMappedFeaturizerFinite(t *testing.T) {
+	// Regression: with Ways == 1 the recency feature normalized by
+	// Ways-1 == 0, injecting NaN (0/0) into the state vector.
+	cfg := pcfg(4, 1)
+	f := NewFeaturizer(cfg, AllFeatures())
+	c := cache.New(cfg.Config)
+	a := trace.Access{PC: 0x400, Addr: 0x40, Type: trace.Load}
+	setIdx, _, _ := c.Probe(a.Addr)
+	c.RecordMissTouch(setIdx)
+	c.Fill(setIdx, 0, a)
+	dst := make([]float64, f.VectorSize())
+	f.Build(dst, policy.AccessCtx{Access: a, SetIdx: setIdx}, c.Set(setIdx), 5)
+	for i, v := range dst {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("state[%d] = %v in a direct-mapped cache", i, v)
+		}
+	}
 }
 
 func TestOffsetBitsEncoded(t *testing.T) {

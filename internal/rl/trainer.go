@@ -1,6 +1,10 @@
 package rl
 
 import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
 	"repro/internal/cache"
 	"repro/internal/cachesim"
 	"repro/internal/policy"
@@ -18,27 +22,200 @@ func DefaultTrainOptions() TrainOptions {
 	return TrainOptions{Agent: DefaultAgentConfig(), Epochs: 2}
 }
 
-// Train teaches a fresh agent on the given LLC access trace replayed
-// against a cache of geometry cfg, returning the trained agent. The reward
-// oracle is built from the same trace, exactly as the paper's Python
-// framework does.
-func Train(cfg cache.Config, accesses []trace.Access, opts TrainOptions) *Agent {
-	agent := NewAgent(opts.Agent)
-	oracle := policy.NewOracle(accesses, cfg.LineSize)
-	agent.SetOracle(oracle)
-	agent.SetTraining(true)
+// Trainer is a resumable training run: the §III-A loop of Train broken
+// into single-access steps so a long run can snapshot its complete state
+// between any two steps and, after being killed, resume from the snapshot
+// with byte-identical results to an uninterrupted run.
+//
+// The snapshot (SaveState/LoadState) covers the agent's networks with
+// their optimizer moments, the replay ring, the RNG, the pending
+// transition, and the in-flight simulator (cache contents, statistics,
+// and access-preuse history) plus the epoch/trace cursor. The oracle's
+// replay cursor is not stored: it is a pure function of the trace position
+// and is re-derived on load (policy.Oracle.SeekReplay).
+type Trainer struct {
+	cfg      cache.Config
+	opts     TrainOptions
+	epochs   int
+	accesses []trace.Access
+
+	agent  *Agent
+	oracle *policy.Oracle
+	sim    *cachesim.Simulator
+
+	epoch  int // completed-epoch count; current epoch while cursor > 0
+	cursor int // index of the next access to replay within the epoch
+}
+
+// NewTrainer builds a fresh training run over accesses against a cache of
+// geometry cfg. The run starts at epoch 0, cursor 0; drive it with Step
+// (or Run) and finish with Finish.
+func NewTrainer(cfg cache.Config, accesses []trace.Access, opts TrainOptions) *Trainer {
 	epochs := opts.Epochs
 	if epochs < 1 {
 		epochs = 1
 	}
-	for e := 0; e < epochs; e++ {
-		oracle.ResetReplay() // keep reward queries on the O(1) in-order path
-		sim := cachesim.New(cfg, 1, agent)
-		agent.SetSim(sim)
-		sim.Run(accesses)
+	agent := NewAgent(opts.Agent)
+	oracle := policy.NewOracle(accesses, cfg.LineSize)
+	agent.SetOracle(oracle)
+	agent.SetTraining(true)
+	return &Trainer{
+		cfg:      cfg,
+		opts:     opts,
+		epochs:   epochs,
+		accesses: accesses,
+		agent:    agent,
+		oracle:   oracle,
 	}
-	agent.SetTraining(false)
-	return agent
+}
+
+// Done reports whether every epoch has been fully replayed.
+func (t *Trainer) Done() bool { return t.epoch >= t.epochs || len(t.accesses) == 0 }
+
+// Epoch returns the current epoch index (== configured epochs when done).
+func (t *Trainer) Epoch() int { return t.epoch }
+
+// Cursor returns the index of the next access within the current epoch.
+func (t *Trainer) Cursor() int { return t.cursor }
+
+// TotalSteps returns the number of accesses replayed so far across epochs.
+func (t *Trainer) TotalSteps() uint64 {
+	return uint64(t.epoch)*uint64(len(t.accesses)) + uint64(t.cursor)
+}
+
+// Agent returns the agent being trained (still in training mode until
+// Finish is called).
+func (t *Trainer) Agent() *Agent { return t.agent }
+
+// beginEpoch starts the current epoch exactly the way the original Train
+// loop did: rewind the oracle's replay cursor, build a fresh simulator
+// (whose Init drops any pending cross-epoch transition), and attach it.
+func (t *Trainer) beginEpoch() {
+	t.oracle.ResetReplay()
+	t.sim = cachesim.New(t.cfg, 1, t.agent)
+	t.agent.SetSim(t.sim)
+}
+
+// Step replays one access and reports whether more work remains. The first
+// step of each epoch lazily sets the epoch up, so a snapshot taken at an
+// epoch boundary carries no simulator state.
+func (t *Trainer) Step() bool {
+	if t.Done() {
+		return false
+	}
+	if t.sim == nil {
+		t.beginEpoch()
+	}
+	t.sim.Step(t.accesses[t.cursor])
+	t.cursor++
+	if t.cursor == len(t.accesses) {
+		t.epoch++
+		t.cursor = 0
+		t.sim = nil
+	}
+	return !t.Done()
+}
+
+// Run drives the trainer to completion.
+func (t *Trainer) Run() {
+	for t.Step() {
+	}
+}
+
+// Finish takes the agent out of training mode and returns it.
+func (t *Trainer) Finish() *Agent {
+	t.agent.SetTraining(false)
+	return t.agent
+}
+
+// SaveState serializes the run's complete resume state. It must be called
+// between steps (never concurrently with Step).
+func (t *Trainer) SaveState(w io.Writer) error {
+	le := binary.LittleEndian
+	if err := binary.Write(w, le, uint64(len(t.accesses))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, le, uint64(t.epoch)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, le, uint64(t.cursor)); err != nil {
+		return err
+	}
+	hasSim := uint64(0)
+	if t.sim != nil {
+		hasSim = 1
+	}
+	if err := binary.Write(w, le, hasSim); err != nil {
+		return err
+	}
+	if err := t.agent.saveState(w); err != nil {
+		return err
+	}
+	if t.sim != nil {
+		return t.sim.SaveState(w)
+	}
+	return nil
+}
+
+// LoadState restores a snapshot written by SaveState into this trainer,
+// which must have been constructed with the same cfg, accesses, and
+// options as the trainer that saved it (the cmd layer guards this with a
+// run fingerprint). Afterwards the trainer continues exactly where the
+// snapshot was taken.
+func (t *Trainer) LoadState(r io.Reader) error {
+	le := binary.LittleEndian
+	var traceLen, epoch64, cursor64, hasSim uint64
+	if err := binary.Read(r, le, &traceLen); err != nil {
+		return err
+	}
+	if int(traceLen) != len(t.accesses) {
+		return fmt.Errorf("rl: snapshot is for a %d-access trace, trainer has %d", traceLen, len(t.accesses))
+	}
+	if err := binary.Read(r, le, &epoch64); err != nil {
+		return err
+	}
+	if err := binary.Read(r, le, &cursor64); err != nil {
+		return err
+	}
+	if err := binary.Read(r, le, &hasSim); err != nil {
+		return err
+	}
+	if int(epoch64) > t.epochs || int(cursor64) >= max(len(t.accesses), 1) || hasSim > 1 {
+		return fmt.Errorf("rl: implausible snapshot position (epoch=%d cursor=%d hasSim=%d)",
+			epoch64, cursor64, hasSim)
+	}
+	if hasSim == 1 {
+		// Build the epoch's simulator first: its Init re-derives the
+		// featurizer and scratch buffers, and the state loads below then
+		// overwrite everything Init reset.
+		t.sim = cachesim.New(t.cfg, 1, t.agent)
+	} else {
+		t.sim = nil
+	}
+	if err := t.agent.loadState(r); err != nil {
+		return err
+	}
+	if t.sim != nil {
+		if err := t.sim.LoadState(r); err != nil {
+			return err
+		}
+		t.agent.SetSim(t.sim)
+		// The oracle cursor is a function of trace position; re-derive it.
+		t.oracle.SeekReplay(cursor64)
+	}
+	t.epoch, t.cursor = int(epoch64), int(cursor64)
+	return nil
+}
+
+// Train teaches a fresh agent on the given LLC access trace replayed
+// against a cache of geometry cfg, returning the trained agent. The reward
+// oracle is built from the same trace, exactly as the paper's Python
+// framework does. Train is the non-resumable convenience over Trainer and
+// produces identical results.
+func Train(cfg cache.Config, accesses []trace.Access, opts TrainOptions) *Agent {
+	t := NewTrainer(cfg, accesses, opts)
+	t.Run()
+	return t.Finish()
 }
 
 // Evaluate replays accesses against a fresh cache under the agent's greedy

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Per-job resilience wrappers in the failsafe style: small composable
+// policies that decorate a job rather than a bespoke retry loop at every
+// call site. The harness composes them around grid cells for long
+// unattended sweeps (flaky I/O, wedged jobs) without touching the cells
+// themselves.
+
+// Job is a unit of work under resilience policies.
+type Job func() error
+
+// Wrapper decorates a Job with one resilience policy.
+type Wrapper func(Job) Job
+
+// Compose applies wrappers around job outermost-first, so
+// Compose(job, Retry(3, 0), Deadline(d)) retries a job whose every attempt
+// is bounded by d.
+func Compose(job Job, wrappers ...Wrapper) Job {
+	for i := len(wrappers) - 1; i >= 0; i-- {
+		job = wrappers[i](job)
+	}
+	return job
+}
+
+// Retry re-runs a failing job until it succeeds or attempts total runs have
+// been made, sleeping backoff, 2·backoff, 4·backoff… between runs (pass 0
+// for immediate retries). The last error is returned. Panics (already
+// converted to *PanicError by the pool or Deadline) are not retried: the
+// jobs here are deterministic, so a panic would simply repeat.
+func Retry(attempts int, backoff time.Duration) Wrapper {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return func(job Job) Job {
+		return func() error {
+			var err error
+			for a := 0; a < attempts; a++ {
+				if a > 0 && backoff > 0 {
+					time.Sleep(backoff << (a - 1))
+				}
+				if err = job(); err == nil {
+					return nil
+				}
+				var pe *PanicError
+				if errors.As(err, &pe) {
+					return err
+				}
+			}
+			return err
+		}
+	}
+}
+
+// DeadlineError reports a job that exceeded its Deadline wrapper's limit.
+type DeadlineError struct {
+	Limit time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sched: job exceeded its %v deadline", e.Limit)
+}
+
+// Deadline bounds a job's wall-clock time: if the job has not returned
+// within d, the wrapper returns *DeadlineError. Go cannot kill a running
+// goroutine, so the abandoned job keeps running to completion in the
+// background and its eventual result is discarded — the wrapper buys
+// forward progress for the sweep, not resource reclamation. A panic in the
+// job is recovered on the job goroutine (where the pool's own recovery
+// cannot see it) and surfaces as a *PanicError with Index -1.
+func Deadline(d time.Duration) Wrapper {
+	return func(job Job) Job {
+		return func() error {
+			done := make(chan error, 1)
+			go func() {
+				defer func() {
+					if v := recover(); v != nil {
+						done <- &PanicError{Index: -1, Value: v, Stack: debug.Stack()}
+					}
+				}()
+				done <- job()
+			}()
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case err := <-done:
+				return err
+			case <-timer.C:
+				return &DeadlineError{Limit: d}
+			}
+		}
+	}
+}

@@ -25,9 +25,47 @@ package sched
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from a grid job, converted into that
+// job's error so one faulty cell cannot take down the whole sweep (or the
+// process). Index is the job's grid index, or -1 for jobs run outside a
+// grid (e.g. under a Deadline wrapper).
+type PanicError struct {
+	Index int
+	Value any   // the value passed to panic
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// protect runs fn(i), converting a panic into a *PanicError. Every job the
+// pool runs goes through protect, so a panicking cell fails like an
+// erroring cell: other cells complete and the error surfaces with
+// lowest-index determinism intact.
+func protect(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// protectVal is protect for value-returning jobs.
+func protectVal[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Index: i, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
 
 // workerOverride holds the explicit -jobs override; 0 means "use
 // GOMAXPROCS".
@@ -134,7 +172,7 @@ func ForEach(n int, fn func(i int) error) error {
 			if int64(i) > minFail.Load() {
 				continue // cancelled: a lower index already failed
 			}
-			if err := fn(i); err != nil {
+			if err := protect(i, fn); err != nil {
 				ferr.record(i, err)
 				for {
 					m := minFail.Load()
@@ -193,7 +231,7 @@ func Stream[T any](n int, fn func(i int) (T, error), emit func(i int, v T) error
 	}
 	if helpers == 0 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := protectVal(i, fn)
 			if err != nil {
 				return err
 			}
@@ -242,7 +280,7 @@ func Stream[T any](n int, fn func(i int) (T, error), emit func(i int, v T) error
 				close(done[i])
 				continue
 			}
-			v, err := fn(i)
+			v, err := protectVal(i, fn)
 			results[i], errs[i] = v, err
 			if err != nil {
 				ferr.record(i, err)

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
 
@@ -21,24 +22,32 @@ func SpeedupPct(ipc, baseIPC float64) float64 {
 }
 
 // GeoMeanSpeedupPct aggregates per-benchmark IPC ratios (ipc/ipcLRU) into
-// the overall percentage of Table IV: (geomean(ratios) − 1) × 100.
-func GeoMeanSpeedupPct(ratios []float64) float64 {
+// the overall percentage of Table IV: (geomean(ratios) − 1) × 100. A
+// non-positive ratio (a degenerate cell) is reported as an error rather
+// than aggregated.
+func GeoMeanSpeedupPct(ratios []float64) (float64, error) {
 	if len(ratios) == 0 {
-		return 0
+		return 0, nil
 	}
-	return (mathx.GeoMean(ratios) - 1) * 100
+	gm, err := mathx.GeoMean(ratios)
+	if err != nil {
+		return 0, err
+	}
+	return (gm - 1) * 100, nil
 }
 
 // MixSpeedup computes one 4-core workload mix's performance versus LRU:
-// the geometric mean over cores of IPC_i / IPC_i,LRU (§V-A).
-func MixSpeedup(ipc, ipcLRU []float64) float64 {
+// the geometric mean over cores of IPC_i / IPC_i,LRU (§V-A). Mismatched
+// slice lengths are a programming error and panic; a zero baseline IPC is
+// a data condition and is returned as an error.
+func MixSpeedup(ipc, ipcLRU []float64) (float64, error) {
 	if len(ipc) != len(ipcLRU) || len(ipc) == 0 {
 		panic("stats: MixSpeedup needs matching non-empty IPC slices")
 	}
 	ratios := make([]float64, len(ipc))
 	for i := range ipc {
 		if ipcLRU[i] == 0 {
-			panic("stats: zero baseline IPC")
+			return 0, fmt.Errorf("stats: zero baseline IPC for core %d", i)
 		}
 		ratios[i] = ipc[i] / ipcLRU[i]
 	}
@@ -84,7 +93,13 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				// Annotation cells beyond the header (e.g. a failure note
+				// appended to a row) render unpadded instead of panicking.
+				b.WriteString(c)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -102,16 +117,16 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (quotes are not needed
-// for the simulator's cell contents).
+// CSV renders the table as RFC 4180 comma-separated values, quoting cells
+// that contain commas, quotes, or newlines.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
+	w := csv.NewWriter(&b)
+	w.Write(t.Header)
 	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
-		b.WriteByte('\n')
+		w.Write(row)
 	}
+	w.Flush()
 	return b.String()
 }
 

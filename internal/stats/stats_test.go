@@ -20,21 +20,26 @@ func TestSpeedupPct(t *testing.T) {
 
 func TestGeoMeanSpeedupPct(t *testing.T) {
 	// Ratios 1.21 and 1.0 → geomean 1.1 → 10%.
-	got := GeoMeanSpeedupPct([]float64{1.21, 1.0})
-	if math.Abs(got-10) > 1e-9 {
-		t.Errorf("GeoMeanSpeedupPct = %v, want 10", got)
+	got, err := GeoMeanSpeedupPct([]float64{1.21, 1.0})
+	if err != nil || math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMeanSpeedupPct = %v (%v), want 10", got, err)
 	}
-	if GeoMeanSpeedupPct(nil) != 0 {
+	if got, err := GeoMeanSpeedupPct(nil); err != nil || got != 0 {
 		t.Error("empty ratios should give 0")
+	}
+	// Regression: a degenerate ratio used to panic deep inside mathx; it
+	// must now surface as an error the harness can annotate.
+	if _, err := GeoMeanSpeedupPct([]float64{1.1, 0}); err == nil {
+		t.Error("non-positive ratio returned nil error")
 	}
 }
 
 func TestMixSpeedup(t *testing.T) {
 	// (1.21 × 1.0 × 1.0 × 1.0)^(1/4) with pairwise ratios.
-	got := MixSpeedup([]float64{1.21, 2, 3, 4}, []float64{1, 2, 3, 4})
+	got, err := MixSpeedup([]float64{1.21, 2, 3, 4}, []float64{1, 2, 3, 4})
 	want := math.Pow(1.21, 0.25)
-	if math.Abs(got-want) > 1e-12 {
-		t.Errorf("MixSpeedup = %v, want %v", got, want)
+	if err != nil || math.Abs(got-want) > 1e-12 {
+		t.Errorf("MixSpeedup = %v (%v), want %v", got, err, want)
 	}
 }
 
@@ -45,6 +50,14 @@ func TestMixSpeedupPanics(t *testing.T) {
 		}
 	}()
 	MixSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestMixSpeedupZeroBaselineErrors(t *testing.T) {
+	// Regression: a zero baseline IPC (e.g. a failed cell) used to panic;
+	// it is a data condition and must be an error.
+	if _, err := MixSpeedup([]float64{1, 1}, []float64{1, 0}); err == nil {
+		t.Error("zero baseline returned nil error")
+	}
 }
 
 func TestMPKI(t *testing.T) {
@@ -71,5 +84,32 @@ func TestTableRendering(t *testing.T) {
 	csv := tb.CSV()
 	if !strings.HasPrefix(csv, "bench,speedup\n") || !strings.Contains(csv, "429.mcf,3.25%") {
 		t.Errorf("CSV malformed:\n%s", csv)
+	}
+}
+
+func TestTableRowWiderThanHeader(t *testing.T) {
+	// Regression: a row with more cells than the header (an annotation
+	// appended to a failed cell's row) used to panic indexing widths.
+	tb := Table{Title: "wide", Header: []string{"bench", "speedup"}}
+	tb.AddRow("429.mcf", "3.25%", "FAILED: worker panic")
+	s := tb.String()
+	if !strings.Contains(s, "FAILED: worker panic") {
+		t.Errorf("annotation cell dropped:\n%s", s)
+	}
+}
+
+func TestCSVQuotesSpecialCells(t *testing.T) {
+	// Regression: cells containing commas or quotes were joined raw,
+	// producing rows with a phantom extra column.
+	tb := Table{Title: "quoting", Header: []string{"bench", "note"}}
+	tb.AddRow("429.mcf", `failed: read "trace, part 2"`)
+	csv := tb.CSV()
+	want := "429.mcf,\"failed: read \"\"trace, part 2\"\"\"\n"
+	if !strings.Contains(csv, want) {
+		t.Errorf("CSV quoting wrong:\n%s", csv)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Errorf("CSV has %d lines, want 2:\n%s", len(lines), csv)
 	}
 }

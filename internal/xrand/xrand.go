@@ -60,6 +60,20 @@ func New(seed uint64) *Rand {
 	return &r
 }
 
+// State returns the generator's full internal state, for checkpointing.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State. It panics on
+// the all-zero state, which Xoshiro cannot escape (and which New can never
+// produce), so a zeroed checkpoint buffer fails loudly instead of yielding
+// a generator that emits zeros forever.
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("xrand: SetState with all-zero state")
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns a uniformly distributed 64-bit value.
