@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cachesim"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -30,6 +31,7 @@ type hotpathMicro struct {
 }
 
 type hotpathReport struct {
+	Meta                obs.BuildInfo  `json:"meta"` // machine/toolchain attribution
 	TraceLen            int            `json:"trace_len"`
 	Sets                int            `json:"sets"`
 	Ways                int            `json:"ways"`
@@ -97,7 +99,7 @@ func runHotpath(quick bool, outPath string) error {
 	accesses := hotpathTrace(traceLen, hot, warm)
 	oracle := policy.NewOracle(accesses, cfg.LineSize)
 
-	rep := hotpathReport{TraceLen: traceLen, Sets: cfg.Sets, Ways: cfg.Ways, Quick: quick}
+	rep := hotpathReport{Meta: obs.CollectBuildInfo(), TraceLen: traceLen, Sets: cfg.Sets, Ways: cfg.Ways, Quick: quick}
 
 	// End-to-end Belady replay, chain vs map reference. Both policies use
 	// the shared oracle read-only; best-of-reps suppresses scheduler noise.

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -37,13 +38,14 @@ type entry struct {
 }
 
 type report struct {
-	Scale           string  `json:"scale"`
-	Jobs            int     `json:"jobs"` // the parallel column's worker count
-	NumCPU          int     `json:"num_cpu"`
-	Results         []entry `json:"results"`
-	TotalSerialMS   float64 `json:"total_serial_ms"`
-	TotalParallelMS float64 `json:"total_parallel_ms"`
-	TotalSpeedup    float64 `json:"total_speedup"`
+	Meta            obs.BuildInfo `json:"meta"` // machine/toolchain attribution
+	Scale           string        `json:"scale"`
+	Jobs            int           `json:"jobs"` // the parallel column's worker count
+	NumCPU          int           `json:"num_cpu"`
+	Results         []entry       `json:"results"`
+	TotalSerialMS   float64       `json:"total_serial_ms"`
+	TotalParallelMS float64       `json:"total_parallel_ms"`
+	TotalSpeedup    float64       `json:"total_speedup"`
 }
 
 func main() {
@@ -100,7 +102,7 @@ func main() {
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
-	rep := report{Scale: s.Name, Jobs: par, NumCPU: runtime.NumCPU()}
+	rep := report{Meta: obs.CollectBuildInfo(), Scale: s.Name, Jobs: par, NumCPU: runtime.NumCPU()}
 	timeRun := func(id string, workers int) (time.Duration, int, error) {
 		sched.SetWorkers(workers)
 		experiments.ResetCaches() // cold: time the full work, not the memo

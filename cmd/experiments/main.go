@@ -6,6 +6,7 @@
 //	experiments -run fig10 -scale quick
 //	experiments -run all -scale full -csv
 //	experiments -run all -scale quick -jobs 8
+//	experiments -run all -scale full -obs-addr localhost:6060 -trace ring:4096
 //
 // Experiments fan out over a bounded worker pool (internal/sched): each
 // one runs its (workload × policy) grid in parallel, and with -run all
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -40,10 +42,40 @@ func main() {
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		traceSpec = flag.String("trace", "", "cache-event trace sink: jsonl:PATH, ring:N, or discard (optional @N sampling)")
+		obsAddr   = flag.String("obs-addr", "", "serve live metrics/expvar/pprof on this address while the suite runs")
 	)
 	flag.Parse()
 	sched.SetWorkers(*jobs)
 	experiments.SetKeepGoing(*keep)
+
+	// Observability is opt-in and does not perturb results: tables are
+	// byte-identical with tracing + metrics on or off (pinned by
+	// TestObservabilityDeterminism).
+	if *traceSpec != "" || *obsAddr != "" {
+		obs.Enable()
+	}
+	var ring *obs.RingSink
+	if *traceSpec != "" {
+		sink, sample, err := obs.OpenSink(*traceSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer sink.Close()
+		ring, _ = sink.(*obs.RingSink)
+		obs.SetGlobalHook(obs.NewSinkHook(sink, sample))
+	}
+	bound, obsShutdown, err := obs.Serve(*obsAddr, ring)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer obsShutdown()
+	if bound != "" {
+		fmt.Fprintf(os.Stderr, "[observability endpoint: http://%s]\n", bound)
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {

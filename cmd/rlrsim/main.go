@@ -7,6 +7,8 @@
 //	rlrsim -workload 429.mcf -policy rlr,lru,ship        # compare policies in parallel
 //	rlrsim -workload 429.mcf -policy rlr -llc -n 200000  # LLC-only (hit rate)
 //	rlrsim -trace mcf.llc -policy belady                 # replay a trace file
+//	rlrsim -workload 429.mcf -policy rlr -llc \
+//	    -obs-trace jsonl:events.jsonl                    # stream cache events
 //
 // With a comma-separated -policy list the runs fan out over the bounded
 // worker pool (internal/sched) and print in list order.
@@ -21,6 +23,7 @@ import (
 	"repro/internal/cachesim"
 	_ "repro/internal/core" // registers rlr / rlr-unopt / rlr-mc
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/profiling"
 	"repro/internal/sched"
@@ -41,6 +44,9 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "worker-pool size for multi-policy runs (0 = GOMAXPROCS)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		traceSpec = flag.String("obs-trace", "", "cache-event trace sink: jsonl:PATH, ring:N, or discard (optional @N sampling)")
+		obsAddr   = flag.String("obs-addr", "", "serve live metrics/expvar/pprof on this address")
 	)
 	flag.Parse()
 	sched.SetWorkers(*jobs)
@@ -48,6 +54,28 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *traceSpec != "" || *obsAddr != "" {
+		obs.Enable()
+	}
+	var ring *obs.RingSink
+	if *traceSpec != "" {
+		sink, sample, err := obs.OpenSink(*traceSpec)
+		if err != nil {
+			fail(err)
+		}
+		defer sink.Close()
+		ring, _ = sink.(*obs.RingSink)
+		obs.SetGlobalHook(obs.NewSinkHook(sink, sample))
+	}
+	bound, obsShutdown, err := obs.Serve(*obsAddr, ring)
+	if err != nil {
+		fail(err)
+	}
+	defer obsShutdown()
+	if bound != "" {
+		fmt.Fprintf(os.Stderr, "[observability endpoint: http://%s]\n", bound)
 	}
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
@@ -101,6 +129,12 @@ func main() {
 					if pol, err = policy.New(pn); err != nil {
 						return cachesim.Stats{}, err
 					}
+				}
+				// With tracing on, wrap the policy so victim *decisions*
+				// (with the chosen line's features) land on the stream
+				// alongside the simulator's hit/miss/fill/evict events.
+				if h := obs.GlobalHook(); h != nil {
+					pol = policy.NewTraced(pol, h)
 				}
 				return cachesim.RunPolicy(cfg, pol, accesses), nil
 			},

@@ -9,11 +9,20 @@
 // -resume a restarted run continues from the snapshot, producing results
 // byte-identical to an uninterrupted run.
 //
+// Long runs can also be observed while in flight: -manifest streams
+// per-epoch telemetry (loss, mean reward, hit rate, weight norm) plus
+// checkpoint save/resume events as JSONL, -trace streams per-access cache
+// events to a pluggable sink, -obs-addr serves live metrics/expvar/pprof
+// over HTTP, and a rate-limited one-line progress log keeps headless
+// terminals informed.
+//
 // Usage:
 //
 //	rltrain -workload 429.mcf -accesses 100000 -epochs 2 -out mcf.model
 //	rltrain -workload 429.mcf -checkpoint mcf.ckpt -checkpoint-every 50000
 //	rltrain -workload 429.mcf -checkpoint mcf.ckpt -resume
+//	rltrain -workload 429.mcf -manifest run.jsonl -obs-addr localhost:6060
+//	rltrain -workload 429.mcf -trace jsonl:events.jsonl@100
 package main
 
 import (
@@ -23,14 +32,17 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/cachesim"
 	"repro/internal/checkpoint"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/profiling"
 	"repro/internal/rl"
@@ -92,6 +104,11 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume from -checkpoint if it exists")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		manifestP = flag.String("manifest", "", "write a JSONL run manifest (per-epoch telemetry + checkpoint events)")
+		traceSpec = flag.String("trace", "", "cache-event trace sink: jsonl:PATH, ring:N, or discard (optional @N sampling)")
+		obsAddr   = flag.String("obs-addr", "", "serve live metrics/expvar/pprof on this address (e.g. localhost:6060)")
+		progEvery = flag.Duration("progress", 30*time.Second, "period of the one-line progress log (0 disables)")
 	)
 	flag.Parse()
 
@@ -102,6 +119,35 @@ func main() {
 	if *resume && *ckpt == "" {
 		fail(errors.New("-resume requires -checkpoint"))
 	}
+
+	// Observability: enable metrics before any simulator is built, attach
+	// the trace sink as the global hook, and bring up the HTTP endpoint.
+	if *manifestP != "" || *traceSpec != "" || *obsAddr != "" {
+		obs.Enable()
+	}
+	var ring *obs.RingSink
+	if *traceSpec != "" {
+		sink, sample, err := obs.OpenSink(*traceSpec)
+		if err != nil {
+			fail(err)
+		}
+		defer sink.Close()
+		ring, _ = sink.(*obs.RingSink)
+		obs.SetGlobalHook(obs.NewSinkHook(sink, sample))
+	}
+	bound, obsShutdown, err := obs.Serve(*obsAddr, ring)
+	if err != nil {
+		fail(err)
+	}
+	defer obsShutdown()
+	if bound != "" {
+		slog.Info("observability endpoint up", "addr", "http://"+bound)
+	}
+	manifest, err := obs.OpenManifest(*manifestP)
+	if err != nil {
+		fail(err)
+	}
+	defer manifest.Close()
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
 		fail(err)
@@ -133,12 +179,38 @@ func main() {
 	fingerprint := fmt.Sprintf("%s/%d/%d/%d/%dx%dx%d",
 		*name, len(tr), *epochs, *hidden, cfg.Sets, cfg.Ways, cfg.LineSize)
 
+	buildInfo := obs.CollectBuildInfo()
+	manifest.Write(obs.ManifestRecord{
+		Kind:        obs.RecRunStart,
+		Fingerprint: fingerprint,
+		Workload:    *name,
+		Accesses:    len(tr),
+		Epochs:      *epochs,
+		Meta:        &buildInfo,
+	})
+
 	trainer := rl.NewTrainer(cfg, tr, opts)
+	trainer.SetEpochObserver(func(e rl.EpochStats) {
+		slog.Info("epoch complete", "epoch", e.Epoch, "loss", e.Loss,
+			"mean_reward", e.MeanReward, "hit_rate", e.HitRate, "weight_norm", e.WeightNorm)
+		if err := manifest.Write(obs.ManifestRecord{
+			Kind: obs.RecEpoch, Epoch: e.Epoch, Steps: e.Steps,
+			Loss: e.Loss, MeanReward: e.MeanReward, Epsilon: e.Epsilon,
+			HitRate: e.HitRate, WeightNorm: e.WeightNorm,
+			Decisions: e.Decisions, Batches: e.Batches,
+		}); err != nil {
+			slog.Warn("run manifest write failed", "err", err)
+		}
+	})
 	if *resume {
 		switch err := loadCheckpoint(*ckpt, fingerprint, trainer); {
 		case err == nil:
-			fmt.Printf("resumed from %s at step %d (epoch %d, cursor %d)\n",
-				*ckpt, trainer.TotalSteps(), trainer.Epoch(), trainer.Cursor())
+			slog.Info("resumed from checkpoint", "path", *ckpt,
+				"step", trainer.TotalSteps(), "epoch", trainer.Epoch(), "cursor", trainer.Cursor())
+			manifest.Write(obs.ManifestRecord{
+				Kind: obs.RecResume, Path: *ckpt,
+				Epoch: trainer.Epoch(), Steps: trainer.TotalSteps(),
+			})
 		case errors.Is(err, fs.ErrNotExist):
 			fmt.Printf("no checkpoint at %s; starting fresh\n", *ckpt)
 		default:
@@ -152,13 +224,22 @@ func main() {
 	if *ckpt != "" {
 		signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
 	}
+	progress := obs.NewProgress(*progEvery)
+	totalSteps := uint64(*epochs) * uint64(len(tr))
 	interrupted := false
 	for !trainer.Done() && !interrupted {
 		trainer.Step()
+		progress.Tick("training", "step", trainer.TotalSteps(), "of", totalSteps,
+			"epoch", trainer.Epoch(), "pct", fmt.Sprintf("%.1f", 100*float64(trainer.TotalSteps())/float64(max(totalSteps, 1))))
 		if *ckpt != "" && *every > 0 && trainer.TotalSteps()%uint64(*every) == 0 {
 			if err := saveCheckpoint(*ckpt, fingerprint, trainer); err != nil {
 				fail(fmt.Errorf("checkpointing: %w", err))
 			}
+			slog.Info("checkpoint saved", "path", *ckpt, "step", trainer.TotalSteps())
+			manifest.Write(obs.ManifestRecord{
+				Kind: obs.RecCheckpointSave, Path: *ckpt,
+				Epoch: trainer.Epoch(), Steps: trainer.TotalSteps(),
+			})
 		}
 		select {
 		case <-sigC:
@@ -170,6 +251,12 @@ func main() {
 		if err := saveCheckpoint(*ckpt, fingerprint, trainer); err != nil {
 			fail(fmt.Errorf("saving interrupt checkpoint: %w", err))
 		}
+		slog.Info("checkpoint saved on interrupt", "path", *ckpt, "step", trainer.TotalSteps())
+		manifest.Write(obs.ManifestRecord{
+			Kind: obs.RecCheckpointSave, Path: *ckpt,
+			Epoch: trainer.Epoch(), Steps: trainer.TotalSteps(),
+		})
+		manifest.Write(obs.ManifestRecord{Kind: obs.RecRunEnd, Steps: trainer.TotalSteps(), Err: "interrupted"})
 		fmt.Fprintf(os.Stderr, "\ninterrupted at step %d; state saved to %s — rerun with -resume to continue\n",
 			trainer.TotalSteps(), *ckpt)
 		os.Exit(130)
@@ -182,6 +269,10 @@ func main() {
 	bel := cachesim.RunPolicy(cfg, policy.NewBelady(oracle), tr)
 	fmt.Printf("\nhit rates: LRU=%.2f%%  RL=%.2f%%  Belady=%.2f%%\n\n",
 		lru.HitRate(), agentStats.HitRate(), bel.HitRate())
+	manifest.Write(obs.ManifestRecord{
+		Kind: obs.RecRunEnd, Epoch: trainer.Epoch(), Steps: trainer.TotalSteps(),
+		HitRate: agentStats.HitRate(), WeightNorm: agent.WeightNorm(),
+	})
 
 	fmt.Println("Feature importance (mean |input weight|, Figure 3):")
 	for _, row := range analysis.HeatMap(agent) {

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/trace"
 )
@@ -81,6 +82,21 @@ type Simulator struct {
 	// it implements the "access preuse" feature of Table II with a fixed
 	// probe table so the per-access path stays allocation-free.
 	preuse *preuseTable
+
+	// Observability (all nil by default and in tests: the hot path then
+	// pays only nil checks and keeps its zero-allocation guarantee). The
+	// hook is picked up from obs.GlobalHook at construction or set with
+	// SetHook; the metrics are resolved from the registry only when
+	// obs.Enable() ran before New.
+	hook    obs.Hook
+	ev      obs.CacheEvent // scratch event, reused across emissions
+	mAcc    *obs.Counter
+	mHits   *obs.Counter
+	mMisses *obs.Counter
+	mBypass *obs.Counter
+	mEvict  *obs.Counter // llc_evictions_by_policy{policy=...}
+	hReuse  *obs.Histogram
+	hOccupy *obs.Histogram
 }
 
 // New builds a simulator over a fresh cache of geometry cfg governed by p.
@@ -96,7 +112,38 @@ func New(cfg cache.Config, numCores int, p policy.Policy) *Simulator {
 		preuse: newPreuseTable(cfg.Sets * cfg.Ways),
 	}
 	p.Init(s.cfg)
+	s.hook = obs.GlobalHook()
+	if m := obs.Metrics(); m != nil {
+		s.mAcc = m.Counter("llc_accesses")
+		s.mHits = m.Counter("llc_hits")
+		s.mMisses = m.Counter("llc_misses")
+		s.mBypass = m.Counter("llc_bypasses")
+		s.mEvict = m.Counter(`llc_evictions_by_policy{policy="` + p.Name() + `"}`)
+		s.hReuse = m.Histogram("llc_reuse_distance")
+		s.hOccupy = m.Histogram("llc_set_occupancy_at_miss")
+	}
 	return s
+}
+
+// SetHook attaches (or with nil detaches) a cache-event hook directly on
+// this simulator, overriding whatever obs.GlobalHook provided at New time.
+func (s *Simulator) SetHook(h obs.Hook) { s.hook = h }
+
+// emit streams one event through the hook, reusing the scratch record; the
+// caller has pre-filled the victim fields when kind is obs.EvEvict.
+func (s *Simulator) emit(kind obs.EventKind, a trace.Access, seq uint64, setIdx uint32, way int) {
+	s.ev.Kind = kind
+	s.ev.Seq = seq
+	s.ev.PC = a.PC
+	s.ev.Addr = a.Addr
+	s.ev.Type = uint8(a.Type)
+	s.ev.Set = setIdx
+	s.ev.Way = way
+	s.ev.Policy = s.p.Name()
+	s.hook.OnCacheEvent(&s.ev)
+	s.ev.VictimBlock, s.ev.VictimDirty = 0, false
+	s.ev.VictimAge, s.ev.VictimPreuse, s.ev.VictimHits = 0, 0, 0
+	s.ev.VictimRecency, s.ev.VictimLastType = 0, 0
 }
 
 // Cache exposes the underlying cache (for analyses and eviction observers).
@@ -141,6 +188,10 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 	if a.Type.IsDemand() {
 		s.stats.DemandAccesses++
 	}
+	s.mAcc.Inc()
+	if s.hReuse != nil && res.AccessPreuse != NeverAccessed {
+		s.hReuse.Observe(res.AccessPreuse)
+	}
 
 	if hit {
 		s.stats.Hits++
@@ -152,6 +203,10 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 		s.p.Update(ctx, set, way, true)
 		res.Way, res.Hit = way, true
 		s.touch(setIdx, a.Addr)
+		s.mHits.Inc()
+		if s.hook != nil {
+			s.emit(obs.EvHit, a, res.Seq, setIdx, way)
+		}
 		return res
 	}
 
@@ -160,6 +215,19 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 		s.stats.DemandMisses++
 	}
 	s.c.RecordMissTouch(setIdx)
+	s.mMisses.Inc()
+	if s.hOccupy != nil {
+		occ := 0
+		for w := range set.Lines {
+			if set.Lines[w].Valid {
+				occ++
+			}
+		}
+		s.hOccupy.Observe(uint64(occ))
+	}
+	if s.hook != nil {
+		s.emit(obs.EvMiss, a, res.Seq, setIdx, -1)
+	}
 
 	way = s.c.InvalidWay(setIdx)
 	if way < 0 {
@@ -171,6 +239,10 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 		s.stats.Bypasses++
 		res.Way, res.Bypassed = -1, true
 		s.touch(setIdx, a.Addr)
+		s.mBypass.Inc()
+		if s.hook != nil {
+			s.emit(obs.EvBypass, a, res.Seq, setIdx, -1)
+		}
 		return res
 	}
 	victim := s.c.Fill(setIdx, way, a)
@@ -180,10 +252,24 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 			s.stats.DirtyEvictions++
 		}
 		res.Victim, res.Evicted = victim, true
+		s.mEvict.Inc()
 	}
 	s.p.Update(ctx, set, way, false)
 	res.Way = way
 	s.touch(setIdx, a.Addr)
+	if s.hook != nil {
+		if victim.Valid {
+			s.ev.VictimBlock = victim.Block
+			s.ev.VictimDirty = victim.Dirty
+			s.ev.VictimAge = victim.AgeSinceInsert
+			s.ev.VictimPreuse = victim.Preuse
+			s.ev.VictimHits = victim.HitsSinceInsert
+			s.ev.VictimRecency = victim.Recency
+			s.ev.VictimLastType = uint8(victim.LastAccessType)
+			s.emit(obs.EvEvict, a, res.Seq, setIdx, way)
+		}
+		s.emit(obs.EvFill, a, res.Seq, setIdx, way)
+	}
 	return res
 }
 

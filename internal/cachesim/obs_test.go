@@ -1,0 +1,131 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// collector retains copies of every event (the emitter reuses its buffer).
+type collector struct {
+	byKind [6]int
+	events []obs.CacheEvent
+}
+
+func (c *collector) OnCacheEvent(e *obs.CacheEvent) {
+	c.byKind[e.Kind]++
+	c.events = append(c.events, *e)
+}
+
+// thrashTrace cycles more blocks than one set holds, forcing evictions.
+func thrashTrace(nBlocks, reps int) []trace.Access {
+	var out []trace.Access
+	for r := 0; r < reps; r++ {
+		for b := 0; b < nBlocks; b++ {
+			out = append(out, trace.Access{PC: uint64(0x100 + b), Addr: uint64(b) * 2 * 64, Type: trace.Load})
+		}
+	}
+	return out
+}
+
+// TestHookEventStream cross-checks the emitted event stream against the
+// simulator's own statistics: exactly one hit-or-miss record per access,
+// one evict per eviction, one fill per non-bypassed miss, and victim
+// features populated only on evict records.
+func TestHookEventStream(t *testing.T) {
+	defer obs.SetGlobalHook(nil)
+	col := &collector{}
+	obs.SetGlobalHook(col)
+
+	cfg := cache.Config{Sets: 2, Ways: 2, LineSize: 64}
+	accesses := thrashTrace(4, 20)
+	sim := New(cfg, 1, policy.MustNew("lru"))
+	st := sim.Run(accesses)
+
+	if got := uint64(col.byKind[obs.EvHit]); got != st.Hits {
+		t.Errorf("hit events = %d, stats.Hits = %d", got, st.Hits)
+	}
+	if got := uint64(col.byKind[obs.EvMiss]); got != st.Misses {
+		t.Errorf("miss events = %d, stats.Misses = %d", got, st.Misses)
+	}
+	if got := uint64(col.byKind[obs.EvEvict]); got != st.Evictions {
+		t.Errorf("evict events = %d, stats.Evictions = %d", got, st.Evictions)
+	}
+	if got := uint64(col.byKind[obs.EvFill]); got != st.Misses-st.Bypasses {
+		t.Errorf("fill events = %d, want misses-bypasses = %d", got, st.Misses-st.Bypasses)
+	}
+	if uint64(col.byKind[obs.EvHit]+col.byKind[obs.EvMiss]) != st.Accesses {
+		t.Errorf("hit+miss events = %d, want one per access (%d)",
+			col.byKind[obs.EvHit]+col.byKind[obs.EvMiss], st.Accesses)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("trace produced no evictions; the test covers nothing")
+	}
+
+	for i, e := range col.events {
+		if e.Policy != "lru" {
+			t.Fatalf("event %d: policy %q, want lru", i, e.Policy)
+		}
+		if e.Kind == obs.EvEvict && e.VictimBlock == 0 && e.VictimAge == 0 && e.VictimPreuse == 0 {
+			t.Fatalf("event %d: evict record carries no victim features: %+v", i, e)
+		}
+		if e.Kind != obs.EvEvict && e.VictimBlock != 0 {
+			t.Fatalf("event %d: %s record leaked victim state from the scratch buffer: %+v", i, e.Kind, e)
+		}
+	}
+}
+
+// TestHookDoesNotPerturbStats pins the observability determinism contract
+// at the simulator level: with and without a hook, identical statistics.
+func TestHookDoesNotPerturbStats(t *testing.T) {
+	cfg := cache.Config{Sets: 2, Ways: 2, LineSize: 64}
+	accesses := thrashTrace(4, 20)
+
+	plain := New(cfg, 1, policy.MustNew("lru")).Run(accesses)
+
+	defer obs.SetGlobalHook(nil)
+	obs.SetGlobalHook(&collector{})
+	hooked := New(cfg, 1, policy.MustNew("lru")).Run(accesses)
+
+	if plain != hooked {
+		t.Errorf("hook changed the simulation: %+v vs %+v", plain, hooked)
+	}
+}
+
+// TestMetricsMatchStats runs with obs.Enable and checks the registry's LLC
+// counters advanced by exactly what the simulator's stats report.
+func TestMetricsMatchStats(t *testing.T) {
+	defer obs.Disable()
+	obs.Enable()
+	m := obs.Default()
+	base := [4]uint64{
+		m.Counter("llc_accesses").Value(),
+		m.Counter("llc_hits").Value(),
+		m.Counter("llc_misses").Value(),
+		m.Counter(`llc_evictions_by_policy{policy="lru"}`).Value(),
+	}
+	cfg := cache.Config{Sets: 2, Ways: 2, LineSize: 64}
+	st := New(cfg, 1, policy.MustNew("lru")).Run(thrashTrace(4, 20))
+
+	if d := m.Counter("llc_accesses").Value() - base[0]; d != st.Accesses {
+		t.Errorf("llc_accesses advanced %d, want %d", d, st.Accesses)
+	}
+	if d := m.Counter("llc_hits").Value() - base[1]; d != st.Hits {
+		t.Errorf("llc_hits advanced %d, want %d", d, st.Hits)
+	}
+	if d := m.Counter("llc_misses").Value() - base[2]; d != st.Misses {
+		t.Errorf("llc_misses advanced %d, want %d", d, st.Misses)
+	}
+	if d := m.Counter(`llc_evictions_by_policy{policy="lru"}`).Value() - base[3]; d != st.Evictions {
+		t.Errorf("llc_evictions_by_policy advanced %d, want %d", d, st.Evictions)
+	}
+	if m.Histogram("llc_reuse_distance").Count() == 0 {
+		t.Error("reuse-distance histogram empty after a thrashing run")
+	}
+	if m.Histogram("llc_set_occupancy_at_miss").Count() == 0 {
+		t.Error("occupancy histogram empty after misses")
+	}
+}

@@ -319,6 +319,22 @@ func (m *MLP) MeanAbsInputWeight(i int) float64 {
 	return sum / float64(len(ws))
 }
 
+// WeightNorm returns the L2 norm over every weight and bias — a cheap
+// scalar trajectory of how far training has moved the network, logged per
+// epoch into the run manifest.
+func (m *MLP) WeightNorm() float64 {
+	sum := 0.0
+	for _, l := range m.layers {
+		for _, w := range l.w {
+			sum += w * w
+		}
+		for _, b := range l.b {
+			sum += b * b
+		}
+	}
+	return math.Sqrt(sum)
+}
+
 const (
 	mlpMagic = "RLRNN1\n"
 	// mlpFullMagic heads the full-training-state format: the RLRNN1 layout

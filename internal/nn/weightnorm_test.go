@@ -1,0 +1,41 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWeightNorm pins the telemetry metric: deterministic for a seed,
+// positive and finite after init, and changed by a training step.
+func TestWeightNorm(t *testing.T) {
+	mk := func() *MLP {
+		return NewMLP(8, 3, LayerSpec{Units: 6, Act: Tanh}, LayerSpec{Units: 4, Act: Linear})
+	}
+	m := mk()
+	n0 := m.WeightNorm()
+	if n0 <= 0 || math.IsNaN(n0) || math.IsInf(n0, 0) {
+		t.Fatalf("initial weight norm %v", n0)
+	}
+	if n1 := mk().WeightNorm(); n1 != n0 {
+		t.Errorf("same seed, different norms: %v vs %v", n1, n0)
+	}
+
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = float64(i) / 8
+	}
+	target := make([]float64, 4)
+	for i := range target {
+		target[i] = math.NaN() // masked
+	}
+	target[1] = 0.5
+	m.ZeroGrad()
+	m.Forward(x)
+	m.Backward(target)
+	m.SGDStep(0.01, 1)
+	if after := m.WeightNorm(); after == n0 {
+		t.Error("weight norm unchanged by a training step")
+	} else if math.IsNaN(after) || math.IsInf(after, 0) {
+		t.Errorf("post-step weight norm %v", after)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/profiling"
+)
+
+// Serve starts the live-introspection endpoint on addr (the -obs-addr
+// flag) and returns the bound address plus a shutdown function. An empty
+// addr is a no-op (empty address, nil-safe shutdown), so cmds wire it
+// unconditionally. The mux exposes:
+//
+//	/            plain-text index of the endpoints below
+//	/metrics     sorted "name value" dump of the metrics registry
+//	/debug/vars  expvar JSON (includes the registry under "obs")
+//	/debug/pprof pprof profiles (CPU, heap, goroutine, ...) via internal/profiling
+//	/events      last events of the ring sink as JSONL (only when ring != nil)
+//
+// Serving uses its own goroutine; the run itself is never blocked.
+func Serve(addr string, ring *RingSink) (bound string, shutdown func(), err error) {
+	if addr == "" {
+		return "", func() {}, nil
+	}
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "observability endpoint")
+		fmt.Fprintln(w, "  /metrics      metrics registry (text)")
+		fmt.Fprintln(w, "  /debug/vars   expvar (JSON)")
+		fmt.Fprintln(w, "  /debug/pprof  pprof profiles")
+		if ring != nil {
+			fmt.Fprintln(w, "  /events       recent cache events (JSONL)")
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		Default().WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	profiling.AttachPprof(mux)
+	if ring != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			for _, e := range ring.Snapshot() {
+				if err := enc.Encode(&e); err != nil {
+					return
+				}
+			}
+		})
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// BuildInfo identifies where and with what a run happened, so emitted
+// artifacts (BENCH_*.json, run manifests) stay attributable when they are
+// compared across machines and commits.
+type BuildInfo struct {
+	GitSHA     string `json:"git_sha,omitempty"`
+	GitDirty   bool   `json:"git_dirty,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// CollectBuildInfo gathers the environment best-effort: missing pieces
+// (no git binary, no /proc/cpuinfo) yield empty fields, never errors.
+func CollectBuildInfo() BuildInfo {
+	bi := BuildInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+	if hn, err := os.Hostname(); err == nil {
+		bi.Hostname = hn
+	}
+	bi.GitSHA, bi.GitDirty = gitRevision()
+	return bi
+}
+
+// gitRevision prefers the VCS stamp Go embeds in `go build` binaries and
+// falls back to asking git directly (the stamp is absent under `go run`
+// and `go test`).
+func gitRevision() (sha string, dirty bool) {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				sha = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if sha != "" {
+			return sha, dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	sha = strings.TrimSpace(string(out))
+	st, err := exec.Command("git", "status", "--porcelain").Output()
+	if err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		dirty = true
+	}
+	return sha, dirty
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo (Linux; empty
+// elsewhere).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}

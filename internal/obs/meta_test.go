@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestCollectBuildInfo checks the always-available fields and that the
+// record embeds cleanly as JSON (benchjson and run manifests both do).
+func TestCollectBuildInfo(t *testing.T) {
+	bi := CollectBuildInfo()
+	if bi.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", bi.GoVersion, runtime.Version())
+	}
+	if bi.GOOS != runtime.GOOS || bi.GOARCH != runtime.GOARCH {
+		t.Errorf("GOOS/GOARCH = %s/%s", bi.GOOS, bi.GOARCH)
+	}
+	if bi.GOMAXPROCS < 1 || bi.NumCPU < 1 {
+		t.Errorf("GOMAXPROCS=%d NumCPU=%d, want >= 1", bi.GOMAXPROCS, bi.NumCPU)
+	}
+	data, err := json.Marshal(bi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BuildInfo
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != bi {
+		t.Errorf("JSON round trip diverged:\n got %+v\nwant %+v", back, bi)
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilMetricsAreNoOps pins the disabled-mode contract everything else is
+// built on: a nil registry resolves every name to nil, and every method on
+// the nil metrics is a safe no-op. The hot paths call these unconditionally.
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must resolve nil metrics")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if h.Buckets() != nil {
+		t.Error("nil histogram must have no buckets")
+	}
+	if r.snapshot() != nil {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("hits") != c {
+		t.Error("Counter must return the same instance for the same name")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+// TestHistogramBuckets checks the power-of-two bucketing: v lands in the
+// bucket whose inclusive upper bound is 2^bits.Len64(v) - 1.
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1 << 20, ^uint64(0)} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	want := map[uint64]uint64{
+		0:          1, // {0}
+		1:          1, // {1}
+		3:          2, // {2,3}
+		7:          2, // {4,7}
+		15:         1, // {8}
+		1<<21 - 1:  1, // {1<<20}
+		^uint64(0): 1, // max
+	}
+	got := map[uint64]uint64{}
+	for _, b := range h.Buckets() {
+		got[b.UpperBound] = b.Count
+	}
+	for hi, n := range want {
+		if got[hi] != n {
+			t.Errorf("bucket ≤%d = %d, want %d", hi, got[hi], n)
+		}
+	}
+	if mean := h.Mean(); mean <= 0 {
+		t.Errorf("mean = %v, want > 0", mean)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+}
+
+// TestWriteText checks the /metrics text format: one sorted "name value"
+// line per metric, histograms expanded into _count/_sum/_bucket lines.
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter").Add(2)
+	r.Gauge("a_gauge").Set(-1)
+	r.Histogram("c_hist").Observe(5)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		"a_gauge -1",
+		"b_counter 2",
+		`c_hist_bucket{le="7"} 1`,
+		"c_hist_count 1",
+		"c_hist_sum 5",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+// TestEnableGatesMetrics pins the construction-time gating: Metrics()
+// returns nil while disabled and the shared default registry while enabled.
+func TestEnableGatesMetrics(t *testing.T) {
+	defer Disable()
+	Disable()
+	if Metrics() != nil {
+		t.Fatal("Metrics() must be nil while disabled")
+	}
+	if Enabled() {
+		t.Fatal("Enabled() must be false")
+	}
+	Enable()
+	if Metrics() != Default() {
+		t.Fatal("Metrics() must be the default registry while enabled")
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() must be true")
+	}
+}
+
+type testHook struct{ n int }
+
+func (h *testHook) OnCacheEvent(*CacheEvent) { h.n++ }
+
+func TestGlobalHook(t *testing.T) {
+	defer SetGlobalHook(nil)
+	if GlobalHook() != nil {
+		t.Fatal("global hook must start nil")
+	}
+	h := &testHook{}
+	SetGlobalHook(h)
+	got := GlobalHook()
+	if got == nil {
+		t.Fatal("global hook not installed")
+	}
+	got.OnCacheEvent(&CacheEvent{})
+	if h.n != 1 {
+		t.Errorf("hook fired %d times, want 1", h.n)
+	}
+	SetGlobalHook(nil)
+	if GlobalHook() != nil {
+		t.Error("global hook not cleared")
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Progress rate-limits a one-line structured status log for headless runs:
+// call Tick from the hot loop as often as convenient and at most one line
+// per interval reaches the log. A nil *Progress (interval <= 0) never logs,
+// so the call site needs no flag check.
+type Progress struct {
+	every  time.Duration
+	last   time.Time
+	logger *slog.Logger
+}
+
+// NewProgress returns a limiter that logs at most once per every; the
+// first Tick after a full interval logs. every <= 0 returns nil (disabled).
+func NewProgress(every time.Duration) *Progress {
+	if every <= 0 {
+		return nil
+	}
+	return &Progress{every: every, last: time.Now(), logger: slog.Default()}
+}
+
+// Tick logs msg with args if the interval has elapsed since the last line.
+func (p *Progress) Tick(msg string, args ...any) {
+	if p == nil {
+		return
+	}
+	now := time.Now()
+	if now.Sub(p.last) < p.every {
+		return
+	}
+	p.last = now
+	p.logger.Info(msg, args...)
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// fullEvent exercises every CacheEvent field, including all victim
+// features, so a field silently dropped by the JSON tags fails deep-equal.
+func fullEvent() CacheEvent {
+	return CacheEvent{
+		Kind:           EvEvict,
+		Seq:            123456,
+		PC:             0x400abc,
+		Addr:           0xdeadbeef00,
+		Type:           2,
+		Set:            511,
+		Way:            15,
+		Policy:         "rlr",
+		VictimBlock:    0x37ff,
+		VictimDirty:    true,
+		VictimAge:      99,
+		VictimPreuse:   7,
+		VictimHits:     3,
+		VictimRecency:  12,
+		VictimLastType: 1,
+	}
+}
+
+// TestCacheEventRoundTrip is the satellite requirement: encode a batch of
+// events through the JSONL sink, decode with ReadEvents, deep-equal.
+func TestCacheEventRoundTrip(t *testing.T) {
+	events := []CacheEvent{
+		fullEvent(),
+		{Kind: EvHit, Seq: 1, Addr: 64, Type: 0, Set: 3, Way: 2, Policy: "lru"},
+		{Kind: EvMiss, Seq: 2, Addr: 128, Set: 4, Way: -1},
+		{Kind: EvBypass, Seq: 3, Addr: 192, Set: 5, Way: -1, Policy: "belady-bypass"},
+		{Kind: EvDecision, Seq: 4, Addr: 256, Set: 6, Way: 0, Policy: "rlr", VictimBlock: 9},
+	}
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for i := range events {
+		if err := sink.Emit(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestEventKindWireNames(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		b, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatalf("kind %d: %v", k, err)
+		}
+		var back EventKind
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatalf("kind %d (%s): %v", k, b, err)
+		}
+		if back != k {
+			t.Errorf("kind %d round-tripped to %d", k, back)
+		}
+	}
+	var k EventKind
+	if err := k.UnmarshalJSON([]byte(`"nonsense"`)); err == nil {
+		t.Error("unknown kind name must fail")
+	}
+	if err := k.UnmarshalJSON([]byte(`7`)); err == nil {
+		t.Error("numeric kind must fail")
+	}
+	if _, err := numEventKinds.MarshalJSON(); err == nil {
+		t.Error("out-of-range kind must fail to marshal")
+	}
+}
+
+// TestManifestRoundTrip writes one record of every kind and deep-equals the
+// decoded stream, covering the nested BuildInfo pointer and the
+// non-omitempty numeric telemetry fields (a 0.0 loss must survive).
+func TestManifestRoundTrip(t *testing.T) {
+	records := []ManifestRecord{
+		{
+			Kind: RecRunStart, TimeUnixMS: 1000,
+			Fingerprint: "abc123", Workload: "429.mcf", Accesses: 50000, Epochs: 3,
+			Meta: &BuildInfo{GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, NumCPU: 8},
+		},
+		{
+			Kind: RecEpoch, TimeUnixMS: 2000,
+			Epoch: 0, Steps: 50000, Loss: 0, MeanReward: -0.25, Epsilon: 0.1,
+			HitRate: 31.5, WeightNorm: 12.75, Decisions: 420, Batches: 17,
+		},
+		{Kind: RecCheckpointSave, TimeUnixMS: 3000, Path: "ckpt.bin", Epoch: 1},
+		{Kind: RecResume, TimeUnixMS: 4000, Path: "ckpt.bin", Steps: 50000},
+		{Kind: RecRunEnd, TimeUnixMS: 5000, HitRate: 40.25, WeightNorm: 13.5, Err: "interrupted"},
+	}
+	var buf bytes.Buffer
+	m := NewManifest(&buf)
+	for _, rec := range records {
+		if err := m.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, records)
+	}
+}
+
+func TestManifestStampsTime(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewManifest(&buf)
+	m.now = func() time.Time { return time.UnixMilli(777) }
+	if err := m.Write(ManifestRecord{Kind: RecRunEnd}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TimeUnixMS != 777 {
+		t.Errorf("records = %+v, want one stamped at 777", recs)
+	}
+}
+
+// TestNilManifest pins that the disabled manifest path (no -manifest flag)
+// is a total no-op rather than a nil dereference.
+func TestNilManifest(t *testing.T) {
+	m, err := OpenManifest("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatal("empty path must yield a nil manifest")
+	}
+	if err := m.Write(ManifestRecord{Kind: RecEpoch}); err != nil {
+		t.Error(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadManifestStrict(t *testing.T) {
+	in := strings.NewReader(`{"kind":"run_start"}` + "\n" + `{"kind":` + "\n")
+	recs, err := ReadManifest(in)
+	if err == nil {
+		t.Fatal("malformed line must fail")
+	}
+	if len(recs) != 1 {
+		t.Errorf("got %d records before the error, want 1", len(recs))
+	}
+	if !strings.Contains(err.Error(), "record 1") {
+		t.Errorf("error %q does not name the failing record", err)
+	}
+}
+
+func TestOpenSinkSpecs(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		spec   string
+		sample int
+		kind   string
+	}{
+		{"discard", 1, "obs.DiscardSink"},
+		{"discard@100", 100, "obs.DiscardSink"},
+		{"ring:16", 1, "*obs.RingSink"},
+		{"jsonl:" + filepath.Join(dir, "a.jsonl"), 1, "*obs.JSONLSink"},
+		{filepath.Join(dir, "b.jsonl"), 1, "*obs.JSONLSink"},
+		{filepath.Join(dir, "c.jsonl") + "@7", 7, "*obs.JSONLSink"},
+	}
+	for _, c := range cases {
+		sink, sample, err := OpenSink(c.spec)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if sample != c.sample {
+			t.Errorf("%s: sample = %d, want %d", c.spec, sample, c.sample)
+		}
+		if got := reflect.TypeOf(sink).String(); got != c.kind {
+			t.Errorf("%s: sink type %s, want %s", c.spec, got, c.kind)
+		}
+		sink.Close()
+	}
+	for _, bad := range []string{"", "ring:zero", "ring:0", "discard@0", "discard@x"} {
+		if _, _, err := OpenSink(bad); err == nil {
+			t.Errorf("spec %q must fail", bad)
+		}
+	}
+}
+
+func TestRingSink(t *testing.T) {
+	r := NewRingSink(3)
+	for i := 1; i <= 5; i++ {
+		e := CacheEvent{Seq: uint64(i)}
+		if err := r.Emit(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d, want 5", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Seq != 3 || snap[1].Seq != 4 || snap[2].Seq != 5 {
+		t.Errorf("snapshot = %+v, want seqs 3,4,5 oldest-first", snap)
+	}
+}
+
+// countSink counts emissions (for the sampling test).
+type countSink struct{ n int }
+
+func (s *countSink) Emit(*CacheEvent) error { s.n++; return nil }
+func (s *countSink) Close() error           { return nil }
+
+func TestSinkHookSampling(t *testing.T) {
+	s := &countSink{}
+	h := NewSinkHook(s, 3)
+	e := CacheEvent{}
+	for i := 0; i < 10; i++ {
+		h.OnCacheEvent(&e)
+	}
+	if s.n != 4 { // events 0, 3, 6, 9
+		t.Errorf("1-in-3 sampling forwarded %d of 10 events, want 4", s.n)
+	}
+	s2 := &countSink{}
+	NewSinkHook(s2, 0).OnCacheEvent(&e)
+	if s2.n != 1 {
+		t.Errorf("sample<=1 must forward every event, got %d", s2.n)
+	}
+}
+
+// FuzzCacheEventRoundTrip is the satellite fuzz seed: any valid event must
+// survive encode→decode unchanged.
+func FuzzCacheEventRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint64(0x400), uint64(64), uint8(0), uint32(0), int(-1), "lru", uint64(0), false, uint32(0))
+	f.Add(uint8(3), uint64(99), uint64(0), uint64(0xfff0), uint8(3), uint32(2047), int(15), "rlr", uint64(512), true, uint32(88))
+	f.Add(uint8(5), ^uint64(0), ^uint64(0), ^uint64(0), uint8(255), ^uint32(0), int(1<<20), "", ^uint64(0), true, ^uint32(0))
+	f.Fuzz(func(t *testing.T, kind uint8, seq, pc, addr uint64, typ uint8, set uint32, way int, pol string, vblock uint64, vdirty bool, vage uint32) {
+		if !utf8.ValidString(pol) {
+			t.Skip("encoding/json replaces invalid UTF-8; not a round-trip input")
+		}
+		e := CacheEvent{
+			Kind: EventKind(kind % uint8(numEventKinds)),
+			Seq:  seq, PC: pc, Addr: addr, Type: typ, Set: set, Way: way, Policy: pol,
+			VictimBlock: vblock, VictimDirty: vdirty, VictimAge: vage,
+		}
+		var buf bytes.Buffer
+		sink := NewJSONLSink(&buf)
+		if err := sink.Emit(&e); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEvents(&buf)
+		if err != nil {
+			t.Fatalf("decode %q: %v", buf.String(), err)
+		}
+		if len(got) != 1 || !reflect.DeepEqual(got[0], e) {
+			t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, e)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package policy_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+type decisionCollector struct{ events []obs.CacheEvent }
+
+func (c *decisionCollector) OnCacheEvent(e *obs.CacheEvent) { c.events = append(c.events, *e) }
+
+func evictTrace(nBlocks, reps int) []trace.Access {
+	var out []trace.Access
+	for r := 0; r < reps; r++ {
+		for b := 0; b < nBlocks; b++ {
+			out = append(out, trace.Access{PC: uint64(b), Addr: uint64(b) * 2 * 64, Type: trace.Load})
+		}
+	}
+	return out
+}
+
+// TestTracedTransparent is the policy-layer determinism guarantee: wrapping
+// a policy in Traced changes neither its name nor any simulation outcome.
+func TestTracedTransparent(t *testing.T) {
+	cfg := cache.Config{Sets: 2, Ways: 2, LineSize: 64}
+	accesses := evictTrace(4, 25)
+
+	plain := cachesim.RunPolicy(cfg, policy.MustNew("lru"), accesses)
+
+	col := &decisionCollector{}
+	tr := policy.NewTraced(policy.MustNew("lru"), col)
+	if tr.Name() != "lru" {
+		t.Errorf("Traced.Name() = %q, want the inner name", tr.Name())
+	}
+	traced := cachesim.RunPolicy(cfg, tr, accesses)
+
+	if plain != traced {
+		t.Errorf("tracing changed the simulation: %+v vs %+v", plain, traced)
+	}
+	if len(col.events) == 0 {
+		t.Fatal("no decision events despite evictions")
+	}
+	// The simulator resolves cold misses itself (InvalidWay); Victim — and
+	// hence a decision record — happens once per capacity eviction.
+	if got := uint64(len(col.events)); got != traced.Evictions {
+		t.Errorf("decision events = %d, want one per eviction (%d)", got, traced.Evictions)
+	}
+	for i, e := range col.events {
+		if e.Kind != obs.EvDecision {
+			t.Fatalf("event %d: kind %s, want decision", i, e.Kind)
+		}
+		if e.Policy != "lru" {
+			t.Fatalf("event %d: policy %q, want lru", i, e.Policy)
+		}
+		if e.Way < 0 || e.Way >= cfg.Ways {
+			t.Fatalf("event %d: way %d out of range", i, e.Way)
+		}
+	}
+}
+
+// TestTracedNilHook pins pure delegation with no hook attached.
+func TestTracedNilHook(t *testing.T) {
+	cfg := cache.Config{Sets: 2, Ways: 2, LineSize: 64}
+	accesses := evictTrace(4, 10)
+	plain := cachesim.RunPolicy(cfg, policy.MustNew("lru"), accesses)
+	traced := cachesim.RunPolicy(cfg, policy.NewTraced(policy.MustNew("lru"), nil), accesses)
+	if plain != traced {
+		t.Errorf("nil-hook Traced changed the simulation: %+v vs %+v", plain, traced)
+	}
+}

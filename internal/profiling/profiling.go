@@ -1,15 +1,30 @@
 // Package profiling wraps runtime/pprof for the cmd/ tools: every binary
 // that replays traces or trains networks takes -cpuprofile/-memprofile
 // flags wired through StartCPU and WriteHeap, so a slow run can be handed
-// straight to `go tool pprof`.
+// straight to `go tool pprof`. AttachPprof additionally mounts the live
+// pprof handlers on the observability endpoint (internal/obs), so an
+// in-flight run can be profiled without restarting it.
 package profiling
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// AttachPprof mounts the net/http/pprof handlers under /debug/pprof/ on
+// mux. Using an explicit mux (instead of net/http/pprof's DefaultServeMux
+// side effect) keeps profiling off any server the process did not ask for.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
 
 // StartCPU begins CPU profiling into path and returns a stop function that
 // flushes and closes the file. When path is empty it is a no-op.

@@ -75,6 +75,15 @@ type Agent struct {
 	target []float64
 	batch  []Transition
 
+	// Telemetry accumulators, drained per epoch by TakeTelemetry. Plain
+	// float/integer adds on the decision and minibatch paths: no
+	// allocation, no effect on decisions, negligible cost, so they run
+	// unconditionally.
+	telLossSum   float64 // sum of per-minibatch mean squared TD errors
+	telBatches   uint64  // minibatch updates since the last drain
+	telRewardSum float64 // sum of per-decision rewards
+	telDecisions uint64  // training decisions since the last drain
+
 	// VictimObserver, when set, is called for each eviction decision with
 	// the chosen way and that line's metadata — the Figure 5/6/7 feeds.
 	VictimObserver func(ctx policy.AccessCtx, set *cache.Set, way int)
@@ -185,6 +194,8 @@ func (a *Agent) Victim(ctx policy.AccessCtx, set *cache.Set) int {
 		a.pendingReward = a.reward(ctx, set, action)
 		a.pendingValid = true
 		a.decisions++
+		a.telRewardSum += a.pendingReward
+		a.telDecisions++
 		if a.replay.Len() >= a.cfg.MinReplay && a.decisions%uint64(a.cfg.TrainEvery) == 0 {
 			a.trainStep()
 		}
@@ -197,6 +208,42 @@ func (a *Agent) Victim(ctx policy.AccessCtx, set *cache.Set) int {
 
 // Update implements policy.Policy; all agent logic runs at decision time.
 func (*Agent) Update(policy.AccessCtx, *cache.Set, int, bool) {}
+
+// Telemetry is a drained snapshot of the agent's training accumulators:
+// the mean minibatch TD loss and mean per-decision reward since the last
+// drain (both 0 when nothing accumulated).
+type Telemetry struct {
+	Loss       float64 // mean of per-minibatch mean squared TD errors
+	MeanReward float64 // mean reward over training decisions
+	Batches    uint64  // minibatch updates in the window
+	Decisions  uint64  // training decisions in the window
+}
+
+// TakeTelemetry returns the accumulated telemetry and resets the window
+// (the trainer drains once per epoch).
+func (a *Agent) TakeTelemetry() Telemetry {
+	t := Telemetry{Batches: a.telBatches, Decisions: a.telDecisions}
+	if a.telBatches > 0 {
+		t.Loss = a.telLossSum / float64(a.telBatches)
+	}
+	if a.telDecisions > 0 {
+		t.MeanReward = a.telRewardSum / float64(a.telDecisions)
+	}
+	a.telLossSum, a.telBatches = 0, 0
+	a.telRewardSum, a.telDecisions = 0, 0
+	return t
+}
+
+// Epsilon returns the configured exploration rate (manifest telemetry).
+func (a *Agent) Epsilon() float64 { return a.cfg.Epsilon }
+
+// WeightNorm returns the online network's L2 weight norm, or 0 before Init.
+func (a *Agent) WeightNorm() float64 {
+	if a.q == nil {
+		return 0
+	}
+	return a.q.WeightNorm()
+}
 
 // reward implements the §III-A reward: +1 for evicting the line with the
 // farthest reuse distance (the Belady decision), −1 for evicting a line
@@ -223,12 +270,15 @@ func (a *Agent) reward(ctx policy.AccessCtx, set *cache.Set, action int) float64
 func (a *Agent) trainStep() {
 	a.batch = a.replay.Sample(a.batch, a.cfg.BatchSize, a.rng)
 	a.q.ZeroGrad()
+	loss := 0.0
 	for _, tr := range a.batch {
 		y := tr.Reward
 		if a.cfg.Gamma > 0 && len(tr.NextState) > 0 {
 			y += a.cfg.Gamma * maxOf(a.tgt.Forward(tr.NextState))
 		}
-		a.q.Forward(tr.State)
+		out := a.q.Forward(tr.State)
+		d := y - out[tr.Action]
+		loss += d * d
 		for i := range a.target {
 			a.target[i] = math.NaN()
 		}
@@ -236,6 +286,10 @@ func (a *Agent) trainStep() {
 		a.q.Backward(a.target)
 	}
 	a.q.AdamStep(a.cfg.LearningRate, len(a.batch))
+	if n := len(a.batch); n > 0 {
+		a.telLossSum += loss / float64(n)
+		a.telBatches++
+	}
 }
 
 func argmax(xs []float64) int {

@@ -1,0 +1,75 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestEpochObserver drives a full training run with an observer installed
+// and checks that every epoch reports once, in order, with plausible
+// telemetry drained fresh per epoch.
+func TestEpochObserver(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 3
+	accesses := cyclicTrace(6, 60)
+
+	var got []EpochStats
+	tr := NewTrainer(cc, accesses, opts)
+	tr.SetEpochObserver(func(s EpochStats) { got = append(got, s) })
+	tr.Run()
+	tr.Finish()
+
+	if len(got) != opts.Epochs {
+		t.Fatalf("observer fired %d times, want %d", len(got), opts.Epochs)
+	}
+	var decisions, batches uint64
+	for i, s := range got {
+		if s.Epoch != i {
+			t.Errorf("record %d: epoch %d, want %d", i, s.Epoch, i)
+		}
+		if s.Steps != uint64(len(accesses)) {
+			t.Errorf("epoch %d: steps %d, want %d", i, s.Steps, len(accesses))
+		}
+		if s.HitRate < 0 || s.HitRate > 100 {
+			t.Errorf("epoch %d: hit rate %v out of [0,100]", i, s.HitRate)
+		}
+		if s.WeightNorm <= 0 || math.IsNaN(s.WeightNorm) || math.IsInf(s.WeightNorm, 0) {
+			t.Errorf("epoch %d: weight norm %v", i, s.WeightNorm)
+		}
+		if s.Epsilon != opts.Agent.Epsilon {
+			t.Errorf("epoch %d: epsilon %v, want %v", i, s.Epsilon, opts.Agent.Epsilon)
+		}
+		if math.IsNaN(s.Loss) || math.IsInf(s.Loss, 0) {
+			t.Errorf("epoch %d: loss %v", i, s.Loss)
+		}
+		decisions += s.Decisions
+		batches += s.Batches
+	}
+	if decisions == 0 {
+		t.Error("no training decisions across the whole run")
+	}
+	if batches == 0 {
+		t.Error("no minibatch updates across the whole run")
+	}
+}
+
+// TestObserverDoesNotPerturbTraining is the training-side determinism
+// pin: a run with an observer ends in state byte-identical to one without.
+func TestObserverDoesNotPerturbTraining(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 2
+	accesses := cyclicTrace(6, 50)
+
+	ref := finalState(t, NewTrainer(cc, accesses, opts))
+
+	observed := NewTrainer(cc, accesses, opts)
+	calls := 0
+	observed.SetEpochObserver(func(EpochStats) { calls++ })
+	if got := finalState(t, observed); !bytes.Equal(got, ref) {
+		t.Error("installing an epoch observer changed the training outcome")
+	}
+	if calls != opts.Epochs {
+		t.Errorf("observer fired %d times, want %d", calls, opts.Epochs)
+	}
+}

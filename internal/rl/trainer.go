@@ -45,7 +45,31 @@ type Trainer struct {
 
 	epoch  int // completed-epoch count; current epoch while cursor > 0
 	cursor int // index of the next access to replay within the epoch
+
+	observer func(EpochStats) // optional per-epoch telemetry callback
 }
+
+// EpochStats is the training telemetry of one completed epoch, delivered
+// to the observer installed with SetEpochObserver and written by the cmd
+// layer into the run-manifest JSONL.
+type EpochStats struct {
+	Epoch      int     // 0-based index of the epoch that just completed
+	Steps      uint64  // accesses replayed in the epoch
+	Loss       float64 // mean minibatch TD loss
+	MeanReward float64 // mean per-decision reward
+	Epsilon    float64 // exploration rate in effect
+	HitRate    float64 // the epoch simulator's hit percentage
+	WeightNorm float64 // L2 norm of the online network after the epoch
+	Decisions  uint64  // training decisions in the epoch
+	Batches    uint64  // minibatch updates in the epoch
+}
+
+// SetEpochObserver installs fn to be called at every epoch boundary with
+// that epoch's telemetry. The callback runs on the training goroutine
+// between steps; it must not call back into the trainer. Telemetry windows
+// are drained per epoch, so installing an observer mid-run (e.g. after a
+// resume) yields a first record covering only the remainder of its epoch.
+func (t *Trainer) SetEpochObserver(fn func(EpochStats)) { t.observer = fn }
 
 // NewTrainer builds a fresh training run over accesses against a cache of
 // geometry cfg. The run starts at epoch 0, cursor 0; drive it with Step
@@ -109,6 +133,21 @@ func (t *Trainer) Step() bool {
 	t.sim.Step(t.accesses[t.cursor])
 	t.cursor++
 	if t.cursor == len(t.accesses) {
+		if t.observer != nil {
+			tel := t.agent.TakeTelemetry()
+			st := t.sim.Stats()
+			t.observer(EpochStats{
+				Epoch:      t.epoch,
+				Steps:      uint64(len(t.accesses)),
+				Loss:       tel.Loss,
+				MeanReward: tel.MeanReward,
+				Epsilon:    t.agent.Epsilon(),
+				HitRate:    st.HitRate(),
+				WeightNorm: t.agent.WeightNorm(),
+				Decisions:  tel.Decisions,
+				Batches:    tel.Batches,
+			})
+		}
 		t.epoch++
 		t.cursor = 0
 		t.sim = nil

@@ -28,7 +28,27 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// poolMetrics resolves the pool's observability instruments. Resolution
+// happens once per ForEach/Stream call (not per job) and yields nil no-op
+// metrics while observability is disabled; updates are lock-free atomics.
+type poolMetrics struct {
+	jobs     *obs.Counter // sched_jobs_total: grid cells started
+	failures *obs.Counter // sched_job_failures_total: cells that errored or panicked
+	inflight *obs.Gauge   // sched_jobs_inflight: cells currently executing
+}
+
+func newPoolMetrics() poolMetrics {
+	m := obs.Metrics()
+	return poolMetrics{
+		jobs:     m.Counter("sched_jobs_total"),
+		failures: m.Counter("sched_job_failures_total"),
+		inflight: m.Gauge("sched_jobs_inflight"),
+	}
+}
 
 // PanicError is a panic recovered from a grid job, converted into that
 // job's error so one faulty cell cannot take down the whole sweep (or the
@@ -36,7 +56,7 @@ import (
 // grid (e.g. under a Deadline wrapper).
 type PanicError struct {
 	Index int
-	Value any   // the value passed to panic
+	Value any    // the value passed to panic
 	Stack []byte // the panicking goroutine's stack
 }
 
@@ -107,12 +127,14 @@ func acquireToken() bool {
 		return false
 	}
 	tokens.inUse++
+	obs.Metrics().Gauge("sched_helpers_in_use").Set(int64(tokens.inUse))
 	return true
 }
 
 func releaseToken() {
 	tokens.mu.Lock()
 	tokens.inUse--
+	obs.Metrics().Gauge("sched_helpers_in_use").Set(int64(tokens.inUse))
 	tokens.mu.Unlock()
 }
 
@@ -162,6 +184,7 @@ func ForEach(n int, fn func(i int) error) error {
 		ferr    firstError
 		wg      sync.WaitGroup
 	)
+	pm := newPoolMetrics()
 	minFail.Store(int64(n))
 	work := func() {
 		for {
@@ -172,7 +195,12 @@ func ForEach(n int, fn func(i int) error) error {
 			if int64(i) > minFail.Load() {
 				continue // cancelled: a lower index already failed
 			}
-			if err := protect(i, fn); err != nil {
+			pm.jobs.Inc()
+			pm.inflight.Add(1)
+			err := protect(i, fn)
+			pm.inflight.Add(-1)
+			if err != nil {
+				pm.failures.Inc()
 				ferr.record(i, err)
 				for {
 					m := minFail.Load()
@@ -229,10 +257,15 @@ func Stream[T any](n int, fn func(i int) (T, error), emit func(i int, v T) error
 	helpers := 0
 	for ; helpers < n && helpers < Workers()-1 && acquireToken(); helpers++ {
 	}
+	pm := newPoolMetrics()
 	if helpers == 0 {
 		for i := 0; i < n; i++ {
+			pm.jobs.Inc()
+			pm.inflight.Add(1)
 			v, err := protectVal(i, fn)
+			pm.inflight.Add(-1)
 			if err != nil {
+				pm.failures.Inc()
 				return err
 			}
 			if err := emit(i, v); err != nil {
@@ -280,9 +313,13 @@ func Stream[T any](n int, fn func(i int) (T, error), emit func(i int, v T) error
 				close(done[i])
 				continue
 			}
+			pm.jobs.Inc()
+			pm.inflight.Add(1)
 			v, err := protectVal(i, fn)
+			pm.inflight.Add(-1)
 			results[i], errs[i] = v, err
 			if err != nil {
+				pm.failures.Inc()
 				ferr.record(i, err)
 				lowerFail(i)
 			}

@@ -13,6 +13,13 @@
 # completed checkpoint is a no-op) and the byte comparison still gates.
 set -eu
 
+# The byte comparison at the end is the whole point of the test; without
+# cmp we would "pass" vacuously. Fail fast with a clear message instead.
+if ! command -v cmp > /dev/null 2>&1; then
+    echo "crash-smoke: FAIL — 'cmp' not found on PATH (install diffutils)" >&2
+    exit 1
+fi
+
 WORKLOAD=429.mcf
 ACCESSES=20000
 EVERY=1000

@@ -1,0 +1,42 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end smoke of the observability layer.
+#
+# Runs a short traced training run with a run manifest and an event trace,
+# then strict-validates both artifacts with obstool:
+#   - the manifest must be parseable JSONL and contain run_start, at least
+#     one epoch telemetry record, and run_end;
+#   - the event trace must be parseable JSONL and non-empty.
+set -eu
+
+WORKLOAD=429.mcf
+ACCESSES=8000
+EPOCHS=2
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+echo "obs-smoke: building rltrain and obstool..."
+go build -o "$dir/rltrain" ./cmd/rltrain
+go build -o "$dir/obstool" ./cmd/obstool
+
+echo "obs-smoke: traced training run ($WORKLOAD, $ACCESSES accesses, $EPOCHS epochs)..."
+"$dir/rltrain" -workload "$WORKLOAD" -accesses "$ACCESSES" -epochs "$EPOCHS" \
+    -manifest "$dir/run.jsonl" -trace "jsonl:$dir/events.jsonl@10" \
+    -progress 0 > /dev/null
+
+echo "obs-smoke: validating the run manifest..."
+"$dir/obstool" validate "$dir/run.jsonl"
+for kind in run_start epoch run_end; do
+    if ! grep -q "\"kind\":\"$kind\"" "$dir/run.jsonl"; then
+        echo "obs-smoke: FAIL — manifest has no $kind record" >&2
+        exit 1
+    fi
+done
+
+echo "obs-smoke: validating the event trace..."
+"$dir/obstool" validate -events "$dir/events.jsonl"
+
+echo "obs-smoke: rendering the loss curve..."
+"$dir/obstool" curve -metric loss "$dir/run.jsonl" > /dev/null
+
+echo "obs-smoke: OK"
