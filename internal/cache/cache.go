@@ -38,6 +38,12 @@ func (c Config) Validate() error {
 	if c.Ways <= 0 {
 		return fmt.Errorf("cache: Ways must be positive, got %d", c.Ways)
 	}
+	// Line.Recency is a uint8 holding a permutation of 0..Ways-1; a wider
+	// set would silently truncate recency values (promote narrows ways-1 to
+	// uint8) and break every recency-reading policy.
+	if c.Ways > 256 {
+		return fmt.Errorf("cache: Ways must fit the 8-bit recency counter (<= 256), got %d", c.Ways)
+	}
 	if c.LineSize == 0 || !mathx.IsPow2(c.LineSize) {
 		return fmt.Errorf("cache: LineSize must be a positive power of two, got %d", c.LineSize)
 	}

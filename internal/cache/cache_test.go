@@ -16,10 +16,17 @@ func TestConfigValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid config rejected: %v", err)
 	}
+	// Ways == 256 is the widest recency permutation a uint8 can hold and
+	// must pass; 257 would silently truncate and must not.
+	wide := Config{Sets: 16, Ways: 256, LineSize: 64}
+	if err := wide.Validate(); err != nil {
+		t.Errorf("256-way config rejected: %v", err)
+	}
 	bad := []Config{
 		{Sets: 0, Ways: 4, LineSize: 64},
 		{Sets: 3, Ways: 4, LineSize: 64},
 		{Sets: 16, Ways: 0, LineSize: 64},
+		{Sets: 16, Ways: 257, LineSize: 64},
 		{Sets: 16, Ways: 4, LineSize: 0},
 		{Sets: 16, Ways: 4, LineSize: 48},
 	}

@@ -83,6 +83,11 @@ type Simulator struct {
 	// probe table so the per-access path stays allocation-free.
 	preuse *preuseTable
 
+	// Invariant checking (see invariants.go): off by default, enabled per
+	// simulator with EnableInvariants or build-wide with -tags simcheck.
+	inv       bool
+	selfCheck policy.InvariantChecker
+
 	// Observability (all nil by default and in tests: the hot path then
 	// pays only nil checks and keeps its zero-allocation guarantee). The
 	// hook is picked up from obs.GlobalHook at construction or set with
@@ -112,6 +117,9 @@ func New(cfg cache.Config, numCores int, p policy.Policy) *Simulator {
 		preuse: newPreuseTable(cfg.Sets * cfg.Ways),
 	}
 	p.Init(s.cfg)
+	if invariantsDefault {
+		s.EnableInvariants()
+	}
 	s.hook = obs.GlobalHook()
 	if m := obs.Metrics(); m != nil {
 		s.mAcc = m.Counter("llc_accesses")
@@ -207,6 +215,9 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 		if s.hook != nil {
 			s.emit(obs.EvHit, a, res.Seq, setIdx, way)
 		}
+		if s.inv {
+			s.checkStep(a, res, victimNotAsked)
+		}
 		return res
 	}
 
@@ -230,8 +241,13 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 	}
 
 	way = s.c.InvalidWay(setIdx)
+	rawVictim := victimNotAsked
 	if way < 0 {
 		way = s.p.Victim(ctx, set)
+		rawVictim = way
+		if s.inv {
+			s.checkVictim(a, way)
+		}
 	} else {
 		s.stats.CompulsoryMiss++
 	}
@@ -242,6 +258,9 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 		s.mBypass.Inc()
 		if s.hook != nil {
 			s.emit(obs.EvBypass, a, res.Seq, setIdx, -1)
+		}
+		if s.inv {
+			s.checkStep(a, res, rawVictim)
 		}
 		return res
 	}
@@ -269,6 +288,9 @@ func (s *Simulator) Step(a trace.Access) StepResult {
 			s.emit(obs.EvEvict, a, res.Seq, setIdx, way)
 		}
 		s.emit(obs.EvFill, a, res.Seq, setIdx, way)
+	}
+	if s.inv {
+		s.checkStep(a, res, rawVictim)
 	}
 	return res
 }

@@ -1,0 +1,9 @@
+//go:build !simcheck
+
+package cachesim
+
+// invariantsDefault is false in normal builds: New returns a simulator that
+// pays one boolean test per Step and nothing else. Build with -tags
+// simcheck (as `make check` does) to flip every simulator in the binary to
+// always-on invariant checking.
+const invariantsDefault = false

@@ -1,0 +1,8 @@
+//go:build simcheck
+
+package cachesim
+
+// invariantsDefault under the simcheck build tag: every simulator checks
+// its invariants after every access and panics with *InvariantViolation on
+// the first break. `make check` runs the test suite this way.
+const invariantsDefault = true

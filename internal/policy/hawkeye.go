@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -148,7 +150,10 @@ func (p *Hawkeye) friendly(pc uint64) bool {
 func (p *Hawkeye) Victim(ctx AccessCtx, set *cache.Set) int {
 	row := p.rrpv[ctx.SetIdx]
 	for w := range row {
-		if row[w] == hkRRIPMax {
+		// >= not ==: a well-formed RRPV never exceeds hkRRIPMax, but the
+		// averse scan must not fall through to the friendly fallback (and
+		// its detraining side effect) if one ever does.
+		if row[w] >= hkRRIPMax {
 			return w
 		}
 	}
@@ -215,4 +220,33 @@ func (p *Hawkeye) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
 		}
 	}
 	row[way] = 0
+}
+
+// CheckInvariants implements InvariantChecker: predictor counters within
+// their 3-bit CRC2 width, per-line RRPVs within the 3-bit range, and every
+// OPTgen occupancy quantum at or below the set's capacity (OPTgen only
+// increments a quantum after proving it below capacity, so exceeding it
+// means the liveness accounting broke).
+func (p *Hawkeye) CheckInvariants() error {
+	for i, v := range p.pred {
+		if v > hkPredMax {
+			return fmt.Errorf("hawkeye: pred[%d] = %d exceeds 3-bit max %d", i, v, hkPredMax)
+		}
+	}
+	for setIdx := range p.rrpv {
+		for w, v := range p.rrpv[setIdx] {
+			if v > hkRRIPMax {
+				return fmt.Errorf("hawkeye: rrpv[%d][%d] = %d exceeds max %d", setIdx, w, v, hkRRIPMax)
+			}
+		}
+	}
+	for setIdx, og := range p.samples {
+		for t, occ := range og.occupancy {
+			if occ > og.capacity {
+				return fmt.Errorf("hawkeye: optgen set %d occupancy[%d] = %d exceeds capacity %d",
+					setIdx, t, occ, og.capacity)
+			}
+		}
+	}
+	return nil
 }

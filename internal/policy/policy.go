@@ -109,13 +109,27 @@ func Names() []string {
 }
 
 // lruWay returns the way with the lowest recency (the LRU line) in a full
-// set. Several policies use LRU as their final tie-break.
+// set. Several policies use LRU as their final tie-break. The comparison
+// stays in the recency counter's own unsigned width — no narrowing
+// conversion to int — so a recency value near the top of its range can
+// never wrap into a spuriously small key and steal the victim slot.
 func lruWay(set *cache.Set) int {
-	best, bestRec := 0, int(^uint(0)>>1)
-	for w := range set.Lines {
-		if r := int(set.Lines[w].Recency); r < bestRec {
+	best, bestRec := 0, set.Lines[0].Recency
+	for w := 1; w < len(set.Lines); w++ {
+		if r := set.Lines[w].Recency; r < bestRec {
 			best, bestRec = w, r
 		}
 	}
 	return best
+}
+
+// InvariantChecker is optionally implemented by policies that can audit
+// their own internal state. CheckInvariants returns nil when every
+// policy-internal invariant holds (RRPV within its counter width, SHCT and
+// predictor counters within their saturation bounds, PSEL in range, …) and
+// a descriptive error otherwise. The simulator's invariant checker calls it
+// after every access when enabled; implementations must not allocate on the
+// passing path.
+type InvariantChecker interface {
+	CheckInvariants() error
 }

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/xrand"
 )
@@ -35,13 +37,17 @@ func newRRIPState(cfg Config) rripState {
 	return s
 }
 
-// victim returns the way with RRPV == max, aging the whole set until one
-// exists (the standard SRRIP victim search). Ties break toward way 0.
+// victim returns the way with RRPV >= max, aging the whole set until one
+// exists (the standard SRRIP victim search). Ties break toward way 0. The
+// comparison is >= rather than ==: a correct RRPV can never exceed rripMax,
+// but an exact-equality scan would spin the aging loop through a uint8
+// wraparound if one ever did, turning a state corruption into near-silent
+// misbehaviour instead of a victim the invariant checker can flag.
 func (s *rripState) victim(setIdx uint32) int {
 	row := s.rrpv[setIdx]
 	for {
 		for w := range row {
-			if row[w] == rripMax {
+			if row[w] >= rripMax {
 				return w
 			}
 		}
@@ -49,6 +55,21 @@ func (s *rripState) victim(setIdx uint32) int {
 			row[w]++
 		}
 	}
+}
+
+// check audits the RRPV array: every counter must be within the 2-bit
+// width. It is the shared core of the RRIP family's InvariantChecker
+// implementations and allocates only on failure.
+func (s *rripState) check(name string) error {
+	for setIdx := range s.rrpv {
+		for w, v := range s.rrpv[setIdx] {
+			if v > rripMax {
+				return fmt.Errorf("%s: rrpv[%d][%d] = %d exceeds %d-bit max %d",
+					name, setIdx, w, v, rripBits, rripMax)
+			}
+		}
+	}
+	return nil
 }
 
 // SRRIP is Static RRIP: insert at RRPV=2 (long re-reference interval),
@@ -119,10 +140,13 @@ func (p *BRRIP) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
 // DRRIP is Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion with
 // a 10-bit policy-selection counter (Jaleel et al. [12]).
 type DRRIP struct {
-	st      rripState
-	rng     *xrand.Rand
-	psel    int // saturating in [0, pselMax]
-	setMask uint32
+	st        rripState
+	rng       *xrand.Rand
+	psel      int // saturating in [0, pselMax]
+	setMask   uint32
+	srripSlot uint32 // leader slot (setIdx & setMask) dedicated to SRRIP
+	brripSlot uint32 // leader slot dedicated to BRRIP
+	dueling   bool   // false when the cache is too small for two distinct leaders
 }
 
 const (
@@ -148,14 +172,31 @@ func (p *DRRIP) Init(cfg Config) {
 	if cfg.Sets < duelGroup {
 		p.setMask = uint32(cfg.Sets - 1)
 	}
+	// Leader slots within each duelling group. The SRRIP leader sits at
+	// slot 0 and the BRRIP leader at the middle slot, as before — but for
+	// caches smaller than a duelling group the middle slot collapses onto
+	// slot 0 (Sets ∈ {1, 2} give setMask/2 == 0), which used to leave the
+	// BRRIP leader shadowed by the SRRIP case arm: PSEL could then only
+	// ever vote one way. Resolve the collision toward the top slot; with a
+	// single set no distinct pair exists, so dueling is disabled and DRRIP
+	// degrades to its SRRIP component (PSEL holds its init value).
+	p.srripSlot = 0
+	p.brripSlot = p.setMask / 2
+	if p.brripSlot == p.srripSlot {
+		p.brripSlot = p.setMask
+	}
+	p.dueling = p.brripSlot != p.srripSlot
 }
 
 // leader classifies a set: +1 = SRRIP leader, -1 = BRRIP leader, 0 follower.
 func (p *DRRIP) leader(setIdx uint32) int {
+	if !p.dueling {
+		return 0
+	}
 	switch setIdx & p.setMask {
-	case 0:
+	case p.srripSlot:
 		return +1
-	case p.setMask / 2:
+	case p.brripSlot:
 		return -1
 	default:
 		return 0
@@ -189,7 +230,9 @@ func (p *DRRIP) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
 	case -1:
 		useBRRIP = true
 	default:
-		useBRRIP = p.psel > pselInit
+		// Followers read the PSEL MSB (Jaleel et al.): the high bit of the
+		// 10-bit counter is set exactly when psel >= pselInit+1 == 512.
+		useBRRIP = p.psel >= pselInit+1
 	}
 	if useBRRIP {
 		if p.rng.Intn(32) == 0 {
@@ -200,4 +243,26 @@ func (p *DRRIP) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
 	} else {
 		p.st.rrpv[ctx.SetIdx][way] = rripMax - 1
 	}
+}
+
+// CheckInvariants implements InvariantChecker.
+func (p *SRRIP) CheckInvariants() error { return p.st.check("srrip") }
+
+// CheckInvariants implements InvariantChecker.
+func (p *BRRIP) CheckInvariants() error { return p.st.check("brrip") }
+
+// CheckInvariants implements InvariantChecker: RRPV widths, the 10-bit PSEL
+// range, and the leader-slot geometry (two distinct slots whenever dueling
+// is on).
+func (p *DRRIP) CheckInvariants() error {
+	if err := p.st.check("drrip"); err != nil {
+		return err
+	}
+	if p.psel < 0 || p.psel > pselMax {
+		return fmt.Errorf("drrip: psel = %d outside [0, %d]", p.psel, pselMax)
+	}
+	if p.dueling && p.srripSlot == p.brripSlot {
+		return fmt.Errorf("drrip: dueling enabled but leader slots collide at %d", p.srripSlot)
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -92,8 +94,10 @@ func (p *SHiP) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
 		}
 		return
 	}
-	// Fill. (The compulsory-fill path does not call Victim, so train here
-	// too; train is idempotent for invalid slots.)
+	// Fill. (Compulsory fills land in ways that never held a line, so there
+	// is no previous occupant to train the SHCT down on; eviction-time
+	// training happens in Victim, which the simulator calls for every
+	// replacement of a valid line.)
 	sig := pcSignature(ctx.PC)
 	*ls = shipLine{sig: sig, valid: true}
 	if p.shct[sig] == 0 {
@@ -101,6 +105,33 @@ func (p *SHiP) Update(ctx AccessCtx, _ *cache.Set, way int, hit bool) {
 	} else {
 		p.st.rrpv[ctx.SetIdx][way] = rripMax - 1
 	}
+}
+
+// checkSHCT audits a Signature History Counter Table against its 3-bit
+// saturation bound (CRC2 width: counters in [0, 7]).
+func checkSHCT(name string, shct []uint8) error {
+	for i, v := range shct {
+		if v > shctMax {
+			return fmt.Errorf("%s: shct[%d] = %d exceeds 3-bit max %d", name, i, v, shctMax)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants implements InvariantChecker.
+func (p *SHiP) CheckInvariants() error {
+	if err := p.st.check("ship"); err != nil {
+		return err
+	}
+	return checkSHCT("ship", p.shct)
+}
+
+// CheckInvariants implements InvariantChecker.
+func (p *SHiPPP) CheckInvariants() error {
+	if err := p.st.check("ship++"); err != nil {
+		return err
+	}
+	return checkSHCT("ship++", p.shct)
 }
 
 // SHiPPP is SHiP++ (Young et al. [34]), enhancing SHiP with the five

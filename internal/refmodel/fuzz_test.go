@@ -1,0 +1,60 @@
+package refmodel
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// fuzzGeometries keeps the fuzzed cache shapes tiny so a short byte string
+// already exercises full sets, evictions, and set-dueling leaders.
+var fuzzGeometries = []cache.Config{
+	{Sets: 1, Ways: 1, LineSize: 64},
+	{Sets: 1, Ways: 2, LineSize: 64},
+	{Sets: 2, Ways: 2, LineSize: 64},
+	{Sets: 4, Ways: 2, LineSize: 64},
+	{Sets: 8, Ways: 4, LineSize: 64},
+}
+
+// decodeAccesses lowers a fuzzer byte string into an access list over a
+// small block and PC space: 3 bytes per access (type+pc, addr low, addr
+// high) keep the decoded trace dense in collisions.
+func decodeAccesses(data []byte) []trace.Access {
+	out := make([]trace.Access, 0, len(data)/3)
+	for i := 0; i+2 < len(data); i += 3 {
+		b := data[i]
+		a := trace.Access{
+			Type: trace.AccessType(b & 0x3),
+			PC:   0x400000 + uint64(b>>2)*4,
+			Addr: (uint64(data[i+1]) | uint64(data[i+2])&0x1<<8) * 64,
+		}
+		if a.Type == trace.Writeback {
+			a.PC = 0
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// FuzzDifferentialPolicy drives every (policy, reference) pair over
+// fuzzer-chosen traces and geometries: any divergence, or any invariant
+// violation inside the production simulator, fails the fuzz run with the
+// replayable counterexample.
+func FuzzDifferentialPolicy(f *testing.F) {
+	f.Add([]byte{0, 0, 0}, uint8(0), uint8(0))
+	f.Add([]byte("\x05\x10\x00\x05\x20\x00\x05\x10\x00"), uint8(3), uint8(2))
+	f.Add([]byte("abcdefghijklmnopqrstuvwxyz0123456789"), uint8(5), uint8(4))
+	pairs := Pairs()
+	f.Fuzz(func(t *testing.T, data []byte, pairSel, geoSel uint8) {
+		accesses := decodeAccesses(data)
+		if len(accesses) == 0 {
+			return
+		}
+		pair := pairs[int(pairSel)%len(pairs)]
+		cfg := fuzzGeometries[int(geoSel)%len(fuzzGeometries)]
+		if d := Diff(pair, cfg, accesses); d != nil {
+			t.Fatalf("divergence:\n%s", d)
+		}
+	})
+}

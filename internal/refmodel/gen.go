@@ -1,0 +1,168 @@
+package refmodel
+
+import (
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+// TraceClass is one family of differential-test traces: a named generator
+// producing a deterministic access list for each (seed, length).
+type TraceClass struct {
+	Name string
+	Gen  func(seed uint64, n int) []trace.Access
+}
+
+// genLineSize is the line size the generated addresses assume. It matches
+// the sweep geometries in cmd/check and the fuzz targets; conflict density
+// is what matters, not the absolute constant.
+const genLineSize = 64
+
+// pcPool is the number of distinct PCs synthetic traces draw from: small
+// enough that SHCT signatures see repeated training, large enough to
+// exercise more than one entry.
+const pcPool = 24
+
+func synthPC(rng *xrand.Rand) uint64 {
+	return 0x400000 + uint64(rng.Intn(pcPool))*4
+}
+
+// synthType draws an access type: mostly loads, with enough RFOs,
+// prefetches, and writebacks to exercise the per-type policy paths
+// (writeback hits skip SHCT training, prefetches matter to SHiP++).
+func synthType(rng *xrand.Rand) trace.AccessType {
+	switch r := rng.Intn(16); {
+	case r < 10:
+		return trace.Load
+	case r < 13:
+		return trace.RFO
+	case r < 15:
+		return trace.Prefetch
+	default:
+		return trace.Writeback
+	}
+}
+
+func finish(a trace.Access) trace.Access {
+	if a.Type == trace.Writeback {
+		a.PC = 0 // writebacks carry no PC, as in real LLC traces
+	}
+	return a
+}
+
+// Classes returns the trace families the differential sweep runs: uniform
+// conflict traffic, sequential streaming, pointer chasing, a Zipf-skewed
+// working set, and LLC streams derived from three synthetic-benchmark
+// models. Every class is deterministic in (seed, n).
+func Classes() []TraceClass {
+	classes := []TraceClass{
+		{Name: "uniform", Gen: genUniform},
+		{Name: "stream", Gen: genStream},
+		{Name: "chase", Gen: genChase},
+		{Name: "zipf", Gen: genZipf},
+	}
+	// Workload-derived classes: the instruction-stream models of three
+	// paper benchmarks, lowered to LLC accesses. The sweep seed perturbs the
+	// spec's own seed so every sweep seed sees a distinct phase alignment.
+	for _, name := range []string{"429.mcf", "470.lbm", "483.xalancbmk"} {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			continue // spec table changed; the synthetic classes still run
+		}
+		classes = append(classes, TraceClass{
+			Name: "wl:" + name,
+			Gen: func(seed uint64, n int) []trace.Access {
+				s := spec
+				s.Seed ^= xrand.Mix64(seed)
+				return workloads.LLCAccesses(s, n)
+			},
+		})
+	}
+	return classes
+}
+
+// genUniform scatters accesses over a block space a few times larger than
+// a small cache, maximizing conflict misses and replacement decisions.
+func genUniform(seed uint64, n int) []trace.Access {
+	rng := xrand.New(xrand.Mix64(seed ^ 0x11))
+	out := make([]trace.Access, n)
+	const blocks = 512
+	for i := range out {
+		out[i] = finish(trace.Access{
+			PC:   synthPC(rng),
+			Addr: uint64(rng.Intn(blocks)) * genLineSize,
+			Type: synthType(rng),
+		})
+	}
+	return out
+}
+
+// genStream interleaves a few sequential streams with occasional restarts —
+// the scan pattern BRRIP exists for.
+func genStream(seed uint64, n int) []trace.Access {
+	rng := xrand.New(xrand.Mix64(seed ^ 0x22))
+	const streams = 3
+	cursor := make([]uint64, streams)
+	base := make([]uint64, streams)
+	for s := range base {
+		base[s] = uint64(s) << 20
+	}
+	out := make([]trace.Access, n)
+	for i := range out {
+		s := rng.Intn(streams)
+		if rng.Intn(200) == 0 {
+			cursor[s] = 0 // stream restart: revisit the prefix
+		}
+		addr := base[s] + cursor[s]*genLineSize
+		cursor[s]++
+		out[i] = finish(trace.Access{
+			PC:   0x400000 + uint64(s)*4,
+			Addr: addr,
+			Type: synthType(rng),
+		})
+	}
+	return out
+}
+
+// genChase walks a random permutation over a modest node set: recurring
+// revisits with irregular stride, the pattern LRU-like policies like and
+// streaming policies hate.
+func genChase(seed uint64, n int) []trace.Access {
+	rng := xrand.New(xrand.Mix64(seed ^ 0x33))
+	const nodes = 96
+	perm := make([]uint32, nodes)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	for i := nodes - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	pos := uint32(0)
+	out := make([]trace.Access, n)
+	for i := range out {
+		pos = perm[pos]
+		out[i] = finish(trace.Access{
+			PC:   0x400100,
+			Addr: uint64(pos) * 2 * genLineSize,
+			Type: synthType(rng),
+		})
+	}
+	return out
+}
+
+// genZipf draws blocks from a skewed popularity distribution: a hot set
+// with a long tail, the regime set-dueling adapts to.
+func genZipf(seed uint64, n int) []trace.Access {
+	rng := xrand.New(xrand.Mix64(seed ^ 0x44))
+	z := xrand.NewZipf(rng, 400, 1.1)
+	out := make([]trace.Access, n)
+	for i := range out {
+		out[i] = finish(trace.Access{
+			PC:   synthPC(rng),
+			Addr: uint64(z.Next()) * genLineSize,
+			Type: synthType(rng),
+		})
+	}
+	return out
+}

@@ -346,6 +346,30 @@ func Generate(spec Spec, n int) []trace.Instr {
 	return out
 }
 
+// LLCAccesses derives an LLC access stream of n records directly from the
+// spec's instruction stream: every memory operation becomes one access
+// (loads and dependent loads as LD, stores as RFO), with no upper-level
+// cache filtering or timing. It is NOT the trace the experiments replay
+// (that is CaptureLLCTrace, which runs the timing hierarchy); it exists so
+// the differential correctness harness can exercise policies with each
+// workload class's real address and PC structure at a fraction of the cost.
+func LLCAccesses(spec Spec, n int) []trace.Access {
+	g := New(spec)
+	out := make([]trace.Access, 0, n)
+	for len(out) < n {
+		in := g.Next()
+		if in.Kind == trace.MemNone {
+			continue
+		}
+		ty := trace.Load
+		if in.Kind == trace.MemStore {
+			ty = trace.RFO
+		}
+		out = append(out, trace.Access{PC: in.PC, Addr: in.Addr, Type: ty})
+	}
+	return out
+}
+
 // ByName returns the registered spec with the given name.
 func ByName(name string) (Spec, error) {
 	for _, s := range All() {
