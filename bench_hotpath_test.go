@@ -13,6 +13,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cachesim"
@@ -137,6 +138,128 @@ func BenchmarkHotpathMLPBackward(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Backward(target)
+	}
+}
+
+// paperMLP builds the paper's 334-175-16 network plus a deterministic
+// input block of b samples laid out row-major for ForwardBatch.
+func paperMLP(b int) (*nn.MLP, []float64) {
+	m := nn.NewMLP(334, 1, nn.LayerSpec{Units: 175, Act: nn.Tanh}, nn.LayerSpec{Units: 16, Act: nn.Linear})
+	xs := make([]float64, b*334)
+	for i := range xs {
+		xs[i] = float64(i%13) / 13
+	}
+	return m, xs
+}
+
+// BenchmarkHotpathMLPForwardRef measures the retained scalar reference
+// path — the pre-batching baseline the batch speedups are judged against.
+func BenchmarkHotpathMLPForwardRef(b *testing.B) {
+	m, x := paperMLP(1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.ForwardRef(x)
+	}
+}
+
+// benchForwardBatch reports per-sample ns for a given batch size: one
+// iteration evaluates all bs inputs through the matrix kernels, and the
+// reported ns/op is divided down so it compares directly with the scalar
+// Forward/ForwardRef numbers.
+func benchForwardBatch(b *testing.B, bs int) {
+	m, xs := paperMLP(bs)
+	m.EnsureBatch(bs)
+	b.ResetTimer()
+	b.ReportAllocs()
+	start := b.Elapsed()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(xs, bs)
+	}
+	perSample := float64((b.Elapsed() - start).Nanoseconds()) / float64(b.N*bs)
+	b.ReportMetric(perSample, "ns/sample")
+}
+
+func BenchmarkHotpathMLPForwardBatch1(b *testing.B)  { benchForwardBatch(b, 1) }
+func BenchmarkHotpathMLPForwardBatch8(b *testing.B)  { benchForwardBatch(b, 8) }
+func BenchmarkHotpathMLPForwardBatch32(b *testing.B) { benchForwardBatch(b, 32) }
+
+// BenchmarkHotpathMLPBackwardBatch8 measures the batched masked-target
+// gradient pass (8 samples, one live action each) per sample.
+func BenchmarkHotpathMLPBackwardBatch8(b *testing.B) {
+	const bs = 8
+	m, xs := paperMLP(bs)
+	targets := make([]float64, bs*16)
+	for i := range targets {
+		targets[i] = math.NaN()
+	}
+	for r := 0; r < bs; r++ {
+		targets[r*16+(r%16)] = 0.25
+	}
+	m.EnsureBatch(bs)
+	m.ForwardBatch(xs, bs)
+	b.ResetTimer()
+	b.ReportAllocs()
+	start := b.Elapsed()
+	for i := 0; i < b.N; i++ {
+		m.BackwardBatch(targets, bs)
+	}
+	perSample := float64((b.Elapsed() - start).Nanoseconds()) / float64(b.N*bs)
+	b.ReportMetric(perSample, "ns/sample")
+}
+
+// BenchmarkHotpathMLPQuantForward measures frozen int8 inference through
+// the same network — the evaluation-only fast path.
+func BenchmarkHotpathMLPQuantForward(b *testing.B) {
+	m, x := paperMLP(1)
+	q := nn.Quantize(m)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Forward(x)
+	}
+}
+
+// TestHotpathBatchSpeedupSmoke is the CI regression gate for the batched
+// kernels: ForwardBatch at B=8 must be at least 2× faster per sample than
+// the scalar reference. The committed BENCH_hotpath.json records ~6× on
+// the reference machine; 2× is the generous floor that still catches a
+// silent fallback to the scalar path. Skipped under the race detector
+// (instrumentation distorts timing) and in -short runs.
+func TestHotpathBatchSpeedupSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing smoke is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing smoke skipped in -short mode")
+	}
+	const bs = 8
+	m, xs := paperMLP(bs)
+	m.EnsureBatch(bs)
+	m.ForwardBatch(xs, bs) // warm scratch
+	x1 := xs[:334]
+
+	// Best-of-5 on both sides to suppress scheduler noise on loaded CI.
+	const reps, iters = 5, 200
+	best := func(f func()) float64 {
+		bestNS := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				f()
+			}
+			if el := float64(time.Since(start).Nanoseconds()); el < bestNS {
+				bestNS = el
+			}
+		}
+		return bestNS / iters
+	}
+	refNS := best(func() { m.ForwardRef(x1) })
+	batchNS := best(func() { m.ForwardBatch(xs, bs) }) / bs
+	speedup := refNS / batchNS
+	t.Logf("scalar ref %.0f ns/sample, batch%d %.0f ns/sample — %.2fx", refNS, bs, batchNS, speedup)
+	if speedup < 2 {
+		t.Errorf("batched forward speedup %.2fx below the 2x regression floor", speedup)
 	}
 }
 

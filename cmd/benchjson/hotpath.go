@@ -31,17 +31,23 @@ type hotpathMicro struct {
 }
 
 type hotpathReport struct {
-	Meta                obs.BuildInfo  `json:"meta"` // machine/toolchain attribution
-	TraceLen            int            `json:"trace_len"`
-	Sets                int            `json:"sets"`
-	Ways                int            `json:"ways"`
-	Quick               bool           `json:"quick"`
-	BaselineMS          float64        `json:"baseline_replay_ms"` // belady-mapref, per replay
-	ChainMS             float64        `json:"chain_replay_ms"`    // chain-driven belady, per replay
-	BaselineNsPerAccess float64        `json:"baseline_ns_per_access"`
-	ChainNsPerAccess    float64        `json:"chain_ns_per_access"`
-	ReplaySpeedup       float64        `json:"replay_speedup"`
-	Micro               []hotpathMicro `json:"micro"`
+	Meta                obs.BuildInfo `json:"meta"` // machine/toolchain attribution
+	TraceLen            int           `json:"trace_len"`
+	Sets                int           `json:"sets"`
+	Ways                int           `json:"ways"`
+	Quick               bool          `json:"quick"`
+	BaselineMS          float64       `json:"baseline_replay_ms"` // belady-mapref, per replay
+	ChainMS             float64       `json:"chain_replay_ms"`    // chain-driven belady, per replay
+	BaselineNsPerAccess float64       `json:"baseline_ns_per_access"`
+	ChainNsPerAccess    float64       `json:"chain_ns_per_access"`
+	ReplaySpeedup       float64       `json:"replay_speedup"`
+	// Batched/quantized NN path, per-sample vs the scalar reference
+	// forward (mlp_forward_ref). The ISSUE-6 acceptance bar is
+	// batch_speedup_32 >= 5.
+	BatchSpeedup8  float64        `json:"batch_speedup_8"`
+	BatchSpeedup32 float64        `json:"batch_speedup_32"`
+	QuantSpeedup   float64        `json:"quant_speedup"`
+	Micro          []hotpathMicro `json:"micro"`
 }
 
 // hotpathTrace mirrors the synthetic mix of bench_hotpath_test.go: hot
@@ -181,8 +187,70 @@ func runHotpath(quick bool, outPath string) error {
 	bwdAllocs := testing.AllocsPerRun(200, func() { m.Backward(target) })
 	rep.Micro = append(rep.Micro, hotpathMicro{Name: "mlp_backward", NsPerOp: bwdNS, AllocsPerOp: bwdAllocs})
 
+	// Scalar reference forward: the pre-batching baseline every batched and
+	// quantized per-sample number is compared against.
+	refNS := timeOp(opBudget, func() { m.ForwardRef(x) })
+	refAllocs := testing.AllocsPerRun(200, func() { m.ForwardRef(x) })
+	rep.Micro = append(rep.Micro, hotpathMicro{Name: "mlp_forward_ref", NsPerOp: refNS, AllocsPerOp: refAllocs})
+
+	// Batched forward sweep; ns_per_op is PER SAMPLE (one ForwardBatch call
+	// evaluates bs inputs).
+	batchNS := map[int]float64{}
+	for _, bs := range []int{1, 8, 32} {
+		xs := make([]float64, bs*334)
+		for j := range xs {
+			xs[j] = float64(j%13) / 13
+		}
+		m.EnsureBatch(bs)
+		m.ForwardBatch(xs, bs) // warm scratch before the alloc count
+		ns := timeOp(opBudget, func() { m.ForwardBatch(xs, bs) }) / float64(bs)
+		allocs := testing.AllocsPerRun(200, func() { m.ForwardBatch(xs, bs) })
+		batchNS[bs] = ns
+		rep.Micro = append(rep.Micro, hotpathMicro{
+			Name: fmt.Sprintf("mlp_forward_batch%d", bs), NsPerOp: ns, AllocsPerOp: allocs,
+		})
+	}
+	if batchNS[8] > 0 {
+		rep.BatchSpeedup8 = refNS / batchNS[8]
+	}
+	if batchNS[32] > 0 {
+		rep.BatchSpeedup32 = refNS / batchNS[32]
+	}
+
+	// Batched masked backward at the training minibatch shape.
+	{
+		const bs = 8
+		xs := make([]float64, bs*334)
+		for j := range xs {
+			xs[j] = float64(j%13) / 13
+		}
+		targets := make([]float64, bs*16)
+		for j := range targets {
+			targets[j] = math.NaN()
+		}
+		for r := 0; r < bs; r++ {
+			targets[r*16+(r%16)] = 0.25
+		}
+		m.EnsureBatch(bs)
+		m.ForwardBatch(xs, bs)
+		ns := timeOp(opBudget, func() { m.BackwardBatch(targets, bs) }) / float64(bs)
+		allocs := testing.AllocsPerRun(200, func() { m.BackwardBatch(targets, bs) })
+		rep.Micro = append(rep.Micro, hotpathMicro{Name: "mlp_backward_batch8", NsPerOp: ns, AllocsPerOp: allocs})
+	}
+
+	// Frozen int8 inference (evaluation-only path).
+	q := nn.Quantize(m)
+	quantNS := timeOp(opBudget, func() { q.Forward(x) })
+	quantAllocs := testing.AllocsPerRun(200, func() { q.Forward(x) })
+	rep.Micro = append(rep.Micro, hotpathMicro{Name: "mlp_quant_forward", NsPerOp: quantNS, AllocsPerOp: quantAllocs})
+	if quantNS > 0 {
+		rep.QuantSpeedup = refNS / quantNS
+	}
+
 	fmt.Fprintf(os.Stderr, "belady replay: chain %.1fms vs mapref %.1fms over %d accesses — %.2fx\n",
 		rep.ChainMS, rep.BaselineMS, traceLen, rep.ReplaySpeedup)
+	fmt.Fprintf(os.Stderr, "mlp forward: batch8 %.2fx, batch32 %.2fx, int8 %.2fx per sample vs scalar ref\n",
+		rep.BatchSpeedup8, rep.BatchSpeedup32, rep.QuantSpeedup)
 	for _, mi := range rep.Micro {
 		fmt.Fprintf(os.Stderr, "%-22s %10.1f ns/op  %6.1f allocs/op\n", mi.Name, mi.NsPerOp, mi.AllocsPerOp)
 	}

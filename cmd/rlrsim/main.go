@@ -15,10 +15,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/cachesim"
 	_ "repro/internal/core" // registers rlr / rlr-unopt / rlr-mc
@@ -26,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/profiling"
+	"repro/internal/rl"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/uarch"
@@ -34,16 +37,17 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("workload", "", "workload name (see tracegen -list)")
-		traceF  = flag.String("trace", "", "LLC access trace file to replay (overrides -workload)")
-		polList = flag.String("policy", "rlr", "replacement policy, or a comma-separated list (or 'belady' with -llc/-trace)")
-		llc     = flag.Bool("llc", false, "run the LLC-only simulator instead of the timing model")
-		n       = flag.Int("n", 200_000, "LLC accesses (-llc)")
-		warmup  = flag.Uint64("warmup", 200_000, "warmup instructions (timing mode)")
-		measure = flag.Uint64("measure", 1_000_000, "measured instructions (timing mode)")
-		jobs    = flag.Int("jobs", 0, "worker-pool size for multi-policy runs (0 = GOMAXPROCS)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		name     = flag.String("workload", "", "workload name (see tracegen -list)")
+		traceF   = flag.String("trace", "", "LLC access trace file to replay (overrides -workload)")
+		polList  = flag.String("policy", "rlr", "replacement policy, or a comma-separated list (with -llc/-trace also: belady, rl, rl-int8)")
+		llc      = flag.Bool("llc", false, "run the LLC-only simulator instead of the timing model")
+		n        = flag.Int("n", 200_000, "LLC accesses (-llc)")
+		warmup   = flag.Uint64("warmup", 200_000, "warmup instructions (timing mode)")
+		measure  = flag.Uint64("measure", 1_000_000, "measured instructions (timing mode)")
+		jobs     = flag.Int("jobs", 0, "worker-pool size for multi-policy runs (0 = GOMAXPROCS)")
+		rlEpochs = flag.Int("rl-epochs", 1, "training epochs for the rl/rl-int8 policies (-llc/-trace)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		traceSpec = flag.String("obs-trace", "", "cache-event trace sink: jsonl:PATH, ring:N, or discard (optional @N sampling)")
 		obsAddr   = flag.String("obs-addr", "", "serve live metrics/expvar/pprof on this address")
@@ -113,6 +117,32 @@ func main() {
 			}
 		}
 		cfg := uarch.DefaultConfig(1).LLC
+		// The RL policies need a trained agent; train once on the shared
+		// trace, then give each requesting row its own copy of the model
+		// (rows run concurrently and the agent is stateful).
+		var rlOnce sync.Once
+		var rlModel []byte
+		var rlErr error
+		rlAgent := func() (*rl.Agent, error) {
+			rlOnce.Do(func() {
+				opts := rl.DefaultTrainOptions()
+				opts.Epochs = *rlEpochs
+				trained := rl.Train(cfg, accesses, opts)
+				var buf bytes.Buffer
+				if rlErr = trained.SaveModel(&buf); rlErr == nil {
+					rlModel = buf.Bytes()
+				}
+			})
+			if rlErr != nil {
+				return nil, rlErr
+			}
+			agent := rl.NewAgent(rl.DefaultTrainOptions().Agent)
+			agent.Init(policy.Config{Config: cfg, NumCores: 1})
+			if err := agent.LoadModel(bytes.NewReader(rlModel)); err != nil {
+				return nil, err
+			}
+			return agent, nil
+		}
 		// Each policy replays the shared captured trace independently;
 		// rows stream out in list order.
 		err = sched.Stream(len(polNames),
@@ -124,6 +154,25 @@ func main() {
 					pol = policy.NewBelady(policy.NewOracle(accesses, cfg.LineSize))
 				case "belady-bypass":
 					pol = policy.NewBeladyBypass(policy.NewOracle(accesses, cfg.LineSize))
+				case "rl", "rl-int8":
+					agent, err := rlAgent()
+					if err != nil {
+						return cachesim.Stats{}, err
+					}
+					agent.SetTraining(false)
+					var p policy.Policy = agent
+					if h := obs.GlobalHook(); h != nil {
+						p = policy.NewTraced(p, h)
+					}
+					sim := cachesim.New(cfg, 1, p)
+					agent.SetSim(sim)
+					if pn == "rl-int8" {
+						// Frozen int8 inference: evaluation-only, gated by
+						// the experiments quantgate accuracy check. Must be
+						// set after cachesim.New (Init clears the copy).
+						agent.SetInt8(true)
+					}
+					return sim.Run(accesses), nil
 				default:
 					var err error
 					if pol, err = policy.New(pn); err != nil {

@@ -104,6 +104,8 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume from -checkpoint if it exists")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		int8Eval = flag.Bool("int8-eval", false, "also evaluate the trained policy with frozen int8 inference and report the delta")
+		shards   = flag.Int("shards", 0, "train N set-sharded agents in parallel instead of one agent (disables checkpointing)")
 
 		manifestP = flag.String("manifest", "", "write a JSONL run manifest (per-epoch telemetry + checkpoint events)")
 		traceSpec = flag.String("trace", "", "cache-event trace sink: jsonl:PATH, ring:N, or discard (optional @N sampling)")
@@ -172,6 +174,30 @@ func main() {
 	opts := rl.DefaultTrainOptions()
 	opts.Epochs = *epochs
 	opts.Agent.Hidden = *hidden
+
+	// Sharded parallel training is a separate, simpler pipeline: no
+	// step-loop, so no checkpoint/resume (each shard trains on its private
+	// sub-trace via the bounded worker pool, deterministically).
+	if *shards > 0 {
+		if *ckpt != "" || *resume {
+			fail(errors.New("-shards does not support -checkpoint/-resume"))
+		}
+		sh, shardStats := rl.TrainShardedParallel(cfg, *shards, tr, opts)
+		for _, st := range shardStats {
+			fmt.Printf("shard %d: accesses=%d loss=%.4f mean-reward=%.3f decisions=%d batches=%d\n",
+				st.Shard, st.Accesses, st.Loss, st.Reward, st.Decisions, st.Batches)
+		}
+		agentStats := rl.EvaluateSharded(cfg, sh, tr)
+		lru := cachesim.RunPolicy(cfg, policy.MustNew("lru"), tr)
+		bel := cachesim.RunPolicy(cfg, policy.NewBelady(policy.NewOracle(tr, cfg.LineSize)), tr)
+		fmt.Printf("\nhit rates: LRU=%.2f%%  RL(sharded×%d)=%.2f%%  Belady=%.2f%%\n",
+			lru.HitRate(), *shards, agentStats.HitRate(), bel.HitRate())
+		if *int8Eval {
+			q := rl.EvaluateShardedInt8(cfg, sh, tr)
+			fmt.Printf("int8 eval: %.2f%% (Δ %+.3f pp vs float)\n", q.HitRate(), q.HitRate()-agentStats.HitRate())
+		}
+		return
+	}
 
 	// The fingerprint pins everything that shapes the run: workload and
 	// trace length (the trace is re-captured deterministically), training
@@ -269,6 +295,10 @@ func main() {
 	bel := cachesim.RunPolicy(cfg, policy.NewBelady(oracle), tr)
 	fmt.Printf("\nhit rates: LRU=%.2f%%  RL=%.2f%%  Belady=%.2f%%\n\n",
 		lru.HitRate(), agentStats.HitRate(), bel.HitRate())
+	if *int8Eval {
+		q := rl.EvaluateInt8(cfg, agent, tr)
+		fmt.Printf("int8 eval: %.2f%% (Δ %+.3f pp vs float)\n\n", q.HitRate(), q.HitRate()-agentStats.HitRate())
+	}
 	manifest.Write(obs.ManifestRecord{
 		Kind: obs.RecRunEnd, Epoch: trainer.Epoch(), Steps: trainer.TotalSteps(),
 		HitRate: agentStats.HitRate(), WeightNorm: agent.WeightNorm(),

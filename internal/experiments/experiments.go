@@ -100,8 +100,8 @@ func register(id, desc string, run func(s Scale) (*stats.Table, error)) {
 // init runs per file alphabetically, so registration order is not it).
 var paperOrder = []string{
 	"tab1", "fig10", "fig11", "fig12", "fig13", "tab4", "ablation",
-	"agesweep", "weightsweep", "kpcp", "fig1", "fig3", "fig4", "fig5",
-	"fig6", "fig7", "hillclimb",
+	"agesweep", "weightsweep", "kpcp", "quantgate", "fig1", "fig3", "fig4",
+	"fig5", "fig6", "fig7", "hillclimb",
 }
 
 // List returns all experiments in the paper's presentation order.

@@ -23,7 +23,8 @@ func tinyScale() Scale {
 func TestListAndUnknown(t *testing.T) {
 	exps := List()
 	want := []string{"tab1", "fig1", "fig3", "hillclimb", "fig4", "fig5", "fig6", "fig7",
-		"fig10", "fig11", "fig12", "kpcp", "fig13", "tab4", "ablation", "agesweep", "weightsweep"}
+		"fig10", "fig11", "fig12", "kpcp", "fig13", "tab4", "ablation", "agesweep",
+		"weightsweep", "quantgate"}
 	have := map[string]bool{}
 	for _, e := range exps {
 		have[e.ID] = true

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rl"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// QuantGateMaxDelta is the accuracy gate for the frozen int8 inference
+// path: on every training benchmark, the absolute LLC hit-rate difference
+// between float and int8 evaluation of the same trained agent must stay
+// within this many percentage points. Evaluation-only consumers (rlrsim
+// -policy rl-int8, sweeps) are the intended users of the quantized path;
+// this gate is what licenses them to report int8 numbers as equivalent to
+// the float policy.
+const QuantGateMaxDelta = 0.1 // percentage points of hit rate
+
+func init() {
+	register("quantgate", "int8 accuracy gate: float vs quantized hit rate per training benchmark", runQuantGate)
+}
+
+func runQuantGate(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("int8 accuracy gate: |Δ| must be ≤ %.1f pp", QuantGateMaxDelta),
+		Header: []string{"benchmark", "FLOAT", "INT8", "DELTA_PP", "GATE"},
+	}
+	cfg := s.LLCConfig()
+	benches := workloadTrainingNames()
+	rows, err := sched.Map(len(benches), func(i int) ([]string, error) {
+		bench := benches[i]
+		tr, err := CaptureLLCTrace(bench, s)
+		if err != nil {
+			return nil, err
+		}
+		var row []string
+		err = withTrainedAgent(bench, s, func(agent *rl.Agent, _ []trace.Access) error {
+			f := rl.Evaluate(cfg, agent, tr).HitRate()
+			q := rl.EvaluateInt8(cfg, agent, tr).HitRate()
+			delta := q - f
+			gate := "pass"
+			if math.Abs(delta) > QuantGateMaxDelta {
+				gate = "FAIL"
+			}
+			row = []string{bench, stats.F2(f), stats.F2(q), fmt.Sprintf("%+.3f", delta), gate}
+			return nil
+		})
+		return row, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl.Rows = append(tbl.Rows, rows...)
+	return tbl, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantGateWithinTolerance is the acceptance gate for the int8
+// inference path: across the fig1 training-benchmark grid, the quantized
+// policy's hit rate must sit within QuantGateMaxDelta percentage points
+// of the float policy it was frozen from. A failure here means the
+// quantization scheme changed enough decisions to be visible at the
+// workload level, and the int8 path must not be used for reporting.
+//
+// The gate is measured at QuickScale (60k-access traces, ~17s): shorter
+// traces sit below the measurement floor — a single flipped near-tie
+// eviction diverges the cache trajectory and shows up as ±0.2-0.3 pp of
+// noise either way, swamping the actual quantization effect. -short
+// drops to tinyScale, which still catches gross breakage (a wrong scale
+// or an overflowing accumulator is off by whole percentage points).
+func TestQuantGateWithinTolerance(t *testing.T) {
+	scale := QuickScale()
+	if testing.Short() {
+		scale = tinyScale()
+	}
+	tbl, err := Run("quantgate", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := workloadTrainingNames()
+	if len(tbl.Rows) != len(benches) {
+		t.Fatalf("quantgate rows = %d, want %d training benchmarks", len(tbl.Rows), len(benches))
+	}
+	for _, row := range tbl.Rows {
+		f := parseF(t, row[1])
+		q := parseF(t, row[2])
+		delta := parseF(t, row[3])
+		// FLOAT/INT8 cells are rounded to 0.01 each, so the recomputed
+		// difference can drift up to 0.01 from the full-precision delta.
+		if got := q - f; math.Abs(got-delta) > 0.011 {
+			t.Errorf("%s: DELTA_PP column %.3f inconsistent with INT8-FLOAT %.3f", row[0], delta, got)
+		}
+		if math.Abs(delta) > QuantGateMaxDelta {
+			t.Errorf("%s: |Δ| = %.3f pp exceeds gate %.1f pp (float %.2f, int8 %.2f)",
+				row[0], math.Abs(delta), QuantGateMaxDelta, f, q)
+		}
+		if row[4] != "pass" {
+			t.Errorf("%s: gate column = %q", row[0], row[4])
+		}
+	}
+}

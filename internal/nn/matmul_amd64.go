@@ -1,0 +1,28 @@
+package nn
+
+// cpuidAVX2 reports whether the CPU and OS support AVX2 (CPUID leaf 7
+// EBX[5], plus OSXSAVE/XGETBV confirmation that ymm state is preserved
+// across context switches). Implemented in matmul_amd64.s.
+func cpuidAVX2() bool
+
+// mm44avx2 computes a 4-row × 4-output tile of the batched forward pass:
+// for j,c in 0..3, z[j*out+c] = bias[c] + Σ_k xg[k*4+j]·w[c*kn+k], with
+// each of the 16 accumulators adding its terms in strictly ascending k
+// using separate (unfused) VMULPD/VADDPD — bit-identical to the scalar
+// reference, four samples per vector lane. xg is the 4 input rows packed
+// k-major (lane j of element k at xg[k*4+j]); w holds 4 consecutive
+// output rows of kn weights each; kn ≥ 1. Implemented in matmul_amd64.s.
+//
+//go:noescape
+func mm44avx2(z, xg, w, bias *float64, kn, out int64)
+
+// useAVX2 gates the assembly kernel; a variable (not a constant) so tests
+// can force the pure-Go path on AVX2 hardware.
+var useAVX2 = cpuidAVX2()
+
+// quantDot4 computes 4 int8×int16 dot products over blocks×16 elements,
+// leaving 8 partial int32 lanes per row in lanes for the caller to fold.
+// Implemented in matmul_amd64.s.
+//
+//go:noescape
+func quantDot4(w *int8, stride int64, x *int16, blocks int64, lanes *int32)

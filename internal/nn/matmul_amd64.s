@@ -1,0 +1,166 @@
+// AVX2 kernel for the batched forward pass. Bit-identity contract: every
+// (row, output) accumulator is one vector lane that starts at the bias
+// and adds x[k]*w[k] terms in strictly ascending k with separate VMULPD
+// and VADDPD instructions — the same IEEE-754 operations in the same
+// order as the scalar reference. No FMA: fusing would drop the
+// intermediate rounding step and change results in the last ulp.
+
+#include "textflag.h"
+
+// func cpuidAVX2() bool
+TEXT ·cpuidAVX2(SB), NOSPLIT, $0-1
+	// CPUID leaf 1: ECX[27] OSXSAVE, ECX[28] AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18000000, R8
+	CMPL R8, $0x18000000
+	JNE  novx
+
+	// XGETBV: OS must preserve XMM (bit 1) and YMM (bit 2) state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  novx
+
+	// CPUID leaf 7 subleaf 0: EBX[5] AVX2.
+	MOVL  $7, AX
+	XORL  CX, CX
+	CPUID
+	TESTL $0x20, BX
+	JZ    novx
+
+	MOVB $1, ret+0(FP)
+	RET
+
+novx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func mm44avx2(z, xg, w, bias *float64, kn, out int64)
+//
+// Y0..Y3 hold the accumulators for outputs c0..c3; lane j of each is
+// batch row j. Per k: one 32-byte load of the packed 4-row input column,
+// four weight broadcasts, four mul+add pairs — 16 MACs on 16 independent
+// chains. After the k loop the 4×4 tile is transposed in registers
+// (unpack + 128-bit permute) so each batch row stores as one contiguous
+// 4-output vector into z.
+TEXT ·mm44avx2(SB), NOSPLIT, $0-48
+	MOVQ z+0(FP), DI
+	MOVQ xg+8(FP), SI
+	MOVQ w+16(FP), R8
+	MOVQ bias+24(FP), BX
+	MOVQ kn+32(FP), CX
+	MOVQ out+40(FP), R12
+
+	// Weight row pointers: rows are kn*8 bytes apart.
+	MOVQ CX, AX
+	SHLQ $3, AX
+	LEAQ (R8)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	LEAQ (R10)(AX*1), R11
+
+	// Accumulators start at the biases, as in the scalar path.
+	VBROADCASTSD (BX), Y0
+	VBROADCASTSD 8(BX), Y1
+	VBROADCASTSD 16(BX), Y2
+	VBROADCASTSD 24(BX), Y3
+
+loop:
+	VMOVUPD      (SI), Y4
+	VBROADCASTSD (R8), Y5
+	VMULPD       Y4, Y5, Y5
+	VADDPD       Y5, Y0, Y0
+	VBROADCASTSD (R9), Y5
+	VMULPD       Y4, Y5, Y5
+	VADDPD       Y5, Y1, Y1
+	VBROADCASTSD (R10), Y5
+	VMULPD       Y4, Y5, Y5
+	VADDPD       Y5, Y2, Y2
+	VBROADCASTSD (R11), Y5
+	VMULPD       Y4, Y5, Y5
+	VADDPD       Y5, Y3, Y3
+	ADDQ         $32, SI
+	ADDQ         $8, R8
+	ADDQ         $8, R9
+	ADDQ         $8, R10
+	ADDQ         $8, R11
+	DECQ         CX
+	JNZ          loop
+
+	// Transpose output-major accumulators to row-major tiles.
+	VUNPCKLPD  Y1, Y0, Y6
+	VUNPCKHPD  Y1, Y0, Y7
+	VUNPCKLPD  Y3, Y2, Y8
+	VUNPCKHPD  Y3, Y2, Y9
+	VPERM2F128 $0x20, Y8, Y6, Y0
+	VPERM2F128 $0x20, Y9, Y7, Y1
+	VPERM2F128 $0x31, Y8, Y6, Y2
+	VPERM2F128 $0x31, Y9, Y7, Y3
+
+	// Store the four batch rows at stride out.
+	SHLQ    $3, R12
+	VMOVUPD Y0, (DI)
+	ADDQ    R12, DI
+	VMOVUPD Y1, (DI)
+	ADDQ    R12, DI
+	VMOVUPD Y2, (DI)
+	ADDQ    R12, DI
+	VMOVUPD Y3, (DI)
+	VZEROUPPER
+	RET
+
+// func quantDot4(w *int8, stride int64, x *int16, blocks int64, lanes *int32)
+//
+// Integer dot products of 4 consecutive int8 weight rows (stride
+// elements apart) against the int16 activation vector, over blocks×16
+// elements. Per block: one 32-byte activation load, then per row a
+// sign-extending 16×int8 load, VPMADDWD (16 products pair-summed to 8
+// int32) and VPADDD into that row's lane accumulator. The 8 lanes per
+// row are written to lanes[row*8..row*8+8] for the caller to fold —
+// integer addition is associative, so lane order cannot change the sum.
+TEXT ·quantDot4(SB), NOSPLIT, $0-40
+	MOVQ w+0(FP), R8
+	MOVQ stride+8(FP), AX
+	MOVQ x+16(FP), SI
+	MOVQ blocks+24(FP), CX
+	MOVQ lanes+32(FP), DI
+	LEAQ (R8)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	LEAQ (R10)(AX*1), R11
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+
+qloop:
+	VMOVDQU   (SI), Y4
+	VPMOVSXBW (R8), Y5
+	VPMADDWD  Y4, Y5, Y5
+	VPADDD    Y5, Y0, Y0
+	VPMOVSXBW (R9), Y5
+	VPMADDWD  Y4, Y5, Y5
+	VPADDD    Y5, Y1, Y1
+	VPMOVSXBW (R10), Y5
+	VPMADDWD  Y4, Y5, Y5
+	VPADDD    Y5, Y2, Y2
+	VPMOVSXBW (R11), Y5
+	VPMADDWD  Y4, Y5, Y5
+	VPADDD    Y5, Y3, Y3
+	ADDQ      $32, SI
+	ADDQ      $16, R8
+	ADDQ      $16, R9
+	ADDQ      $16, R10
+	ADDQ      $16, R11
+	DECQ      CX
+	JNZ       qloop
+
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	VZEROUPPER
+	RET

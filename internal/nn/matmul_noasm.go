@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package nn
+
+// mm44avx2 is only reachable when useAVX2 is true, which never holds off
+// amd64.
+func mm44avx2(z, xg, w, bias *float64, kn, out int64) {
+	panic("nn: mm44avx2 called without AVX2 support")
+}
+
+var useAVX2 = false
+
+func quantDot4(w *int8, stride int64, x *int16, blocks int64, lanes *int32) {
+	panic("nn: quantDot4 called without AVX2 support")
+}

@@ -62,12 +62,15 @@ type layer struct {
 	w       []float64 // out × in, row-major
 	b       []float64 // out
 
-	// forward scratch
-	z []float64 // pre-activation
-	y []float64 // activation output
+	// forward scratch, batchCap rows of out (row-major): row r of z holds
+	// sample r's pre-activations, row r of y its activation outputs. The
+	// scalar path is simply batch row 0.
+	z []float64
+	y []float64
 
-	// backward scratch: this layer's error term. Preallocated so Backward
-	// does no heap allocation in the training loop.
+	// backward scratch, batchCap × out: this layer's error terms.
+	// Preallocated so Backward does no heap allocation in the training
+	// loop; grown (never shrunk) by EnsureBatch.
 	d []float64
 
 	// gradient accumulators
@@ -82,7 +85,13 @@ type layer struct {
 // MLP is a feed-forward network.
 type MLP struct {
 	layers []*layer
-	input  []float64
+	input  []float64 // the last Forward/ForwardBatch input (caller-owned)
+	// batchCap is the allocated scratch capacity in rows; batchCur the row
+	// count of the most recent forward pass (what Backward must match).
+	batchCap, batchCur int
+	// pack holds 4 input rows transposed to k-major for the vector kernel
+	// (lane-contiguous columns); sized 4×max layer width by EnsureBatch.
+	pack []float64
 	// Adam step counter.
 	t int
 }
@@ -127,6 +136,7 @@ func NewMLP(inputs int, seed uint64, specs ...LayerSpec) *MLP {
 		m.layers = append(m.layers, l)
 		in = s.Units
 	}
+	m.batchCap, m.batchCur = 1, 1
 	return m
 }
 
@@ -137,12 +147,39 @@ func (m *MLP) InputSize() int { return m.layers[0].in }
 func (m *MLP) OutputSize() int { return m.layers[len(m.layers)-1].out }
 
 // Forward runs inference; the returned slice is owned by the network and
-// valid until the next Forward call.
+// valid until the next Forward call. It is the B=1 case of ForwardBatch
+// (and bit-identical to ForwardRef: the kernels keep the same per-output
+// summation order).
 func (m *MLP) Forward(x []float64) []float64 {
 	if len(x) != m.layers[0].in {
 		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.layers[0].in))
 	}
+	return m.ForwardBatch(x, 1)
+}
+
+// Backward accumulates gradients of 0.5·Σ(output − target)² for the most
+// recent Forward. Components with target set to NaN are masked out (their
+// error is treated as zero) — the DQN update trains only the taken action.
+// It is the B=1 case of BackwardBatch.
+func (m *MLP) Backward(target []float64) {
+	last := m.layers[len(m.layers)-1]
+	if len(target) != last.out {
+		panic(fmt.Sprintf("nn: target size %d, want %d", len(target), last.out))
+	}
+	m.BackwardBatch(target, 1)
+}
+
+// ForwardRef is the pre-batching scalar inference path, retained verbatim
+// as the equivalence baseline for the matrix kernels (the BeladyMapRef
+// precedent): one latency-bound dot product per output. Tests assert
+// Forward and every ForwardBatch row are bit-identical to it, and the
+// bench harness reports the batched speedup against it.
+func (m *MLP) ForwardRef(x []float64) []float64 {
+	if len(x) != m.layers[0].in {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.layers[0].in))
+	}
 	m.input = x
+	m.batchCur = 1
 	cur := x
 	for _, l := range m.layers {
 		for o := 0; o < l.out; o++ {
@@ -154,22 +191,25 @@ func (m *MLP) Forward(x []float64) []float64 {
 			l.z[o] = sum
 			l.y[o] = l.act.apply(sum)
 		}
-		cur = l.y
+		cur = l.y[:l.out]
 	}
 	return cur
 }
 
-// Backward accumulates gradients of 0.5·Σ(output − target)² for the most
-// recent Forward. Components with target set to NaN are masked out (their
-// error is treated as zero) — the DQN update trains only the taken action.
-func (m *MLP) Backward(target []float64) {
+// BackwardRef is the pre-batching scalar gradient accumulation, retained
+// as the equivalence baseline for BackwardBatch. It must follow ForwardRef
+// (or any B=1 forward).
+func (m *MLP) BackwardRef(target []float64) {
 	last := m.layers[len(m.layers)-1]
 	if len(target) != last.out {
 		panic(fmt.Sprintf("nn: target size %d, want %d", len(target), last.out))
 	}
+	if m.batchCur != 1 {
+		panic("nn: BackwardRef needs a B=1 forward pass")
+	}
 	// Delta buffers are reused across calls, so masked components must be
 	// written to zero rather than skipped.
-	delta := last.d
+	delta := last.d[:last.out]
 	for o := range delta {
 		if math.IsNaN(target[o]) {
 			delta[o] = 0
@@ -183,7 +223,7 @@ func (m *MLP) Backward(target []float64) {
 		if li == 0 {
 			prevY = m.input
 		} else {
-			prevY = m.layers[li-1].y
+			prevY = m.layers[li-1].y[:m.layers[li-1].out]
 		}
 		for o := 0; o < l.out; o++ {
 			d := delta[o]
@@ -198,7 +238,7 @@ func (m *MLP) Backward(target []float64) {
 		}
 		if li > 0 {
 			prev := m.layers[li-1]
-			nd := prev.d // fully overwritten below
+			nd := prev.d[:prev.out] // fully overwritten below
 			for i := 0; i < prev.out; i++ {
 				sum := 0.0
 				for o := 0; o < l.out; o++ {

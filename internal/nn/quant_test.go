@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// trainToy fits a small net so quantization tests run against structured
+// weights, not just the random init.
+func trainToy(t *testing.T) *MLP {
+	t.Helper()
+	m := NewMLP(8, 3, LayerSpec{Units: 16, Act: Tanh}, LayerSpec{Units: 4, Act: Linear})
+	rng := xrand.New(17)
+	x := make([]float64, 8)
+	tg := make([]float64, 4)
+	for step := 0; step < 2000; step++ {
+		s := 0.0
+		for i := range x {
+			x[i] = rng.Float64()
+			s += x[i]
+		}
+		tg[0], tg[1], tg[2], tg[3] = s/8, x[0]*x[1], x[2]-x[3], 0.25
+		m.Forward(x)
+		m.Backward(tg)
+		m.AdamStep(1e-3, 1)
+		m.ZeroGrad()
+	}
+	return m
+}
+
+// TestQuantizedMatchesFloatApprox: the int8 path must track the float net
+// closely on in-domain inputs ([0,1] features), and — more importantly
+// for cache policy — agree with it on the argmax action almost always.
+func TestQuantizedMatchesFloatApprox(t *testing.T) {
+	m := trainToy(t)
+	q := Quantize(m)
+	rng := xrand.New(23)
+	x := make([]float64, 8)
+	disagree := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		fy := m.Forward(x)
+		qy := q.Forward(x)
+		fa, qa := argmax(fy), argmax(qy)
+		maxErr := 0.0
+		for o := range fy {
+			if e := math.Abs(fy[o] - qy[o]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 0.15 {
+			t.Fatalf("trial %d: quantized output off by %.3f (float %v, int8 %v)", trial, maxErr, fy, qy)
+		}
+		if fa != qa {
+			disagree++
+		}
+	}
+	if frac := float64(disagree) / trials; frac > 0.05 {
+		t.Errorf("argmax disagreement %.1f%%, want < 5%%", frac*100)
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestQuantizedSIMDMatchesGo: the AVX2 integer kernel and the pure-Go
+// loop must agree exactly — integer sums don't depend on association, so
+// this is equality, not tolerance.
+func TestQuantizedSIMDMatchesGo(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no vector kernel on this machine")
+	}
+	for _, sh := range testShapes {
+		m := NewMLP(sh.inputs, 31, sh.specs...)
+		qa := Quantize(m)
+		useAVX2 = false
+		qb := Quantize(m)
+		useAVX2 = true
+		rng := xrand.New(77)
+		x := make([]float64, sh.inputs)
+		for trial := 0; trial < 50; trial++ {
+			for i := range x {
+				x[i] = rng.Float64()*2 - 1
+			}
+			ya := qa.Forward(x)
+			useAVX2 = false
+			yb := qb.Forward(x)
+			useAVX2 = true
+			for o := range ya {
+				if !bitsEqual(ya[o], yb[o]) {
+					t.Fatalf("%s trial %d out %d: simd %x go %x",
+						sh.name, trial, o, math.Float64bits(ya[o]), math.Float64bits(yb[o]))
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedFrozen: training the source MLP after Quantize must not
+// change the quantized copy's outputs.
+func TestQuantizedFrozen(t *testing.T) {
+	m := trainToy(t)
+	q := Quantize(m)
+	x := []float64{0.1, 0.9, 0.4, 0.2, 0.7, 0.3, 0.5, 0.8}
+	before := append([]float64(nil), q.Forward(x)...)
+	tg := []float64{1, math.NaN(), math.NaN(), math.NaN()}
+	for i := 0; i < 50; i++ {
+		m.Forward(x)
+		m.Backward(tg)
+		m.AdamStep(1e-2, 1)
+		m.ZeroGrad()
+	}
+	after := q.Forward(x)
+	for o := range before {
+		if !bitsEqual(before[o], after[o]) {
+			t.Fatalf("quantized output %d drifted after source training", o)
+		}
+	}
+}
+
+// TestQuantizedForwardZeroAllocs pins the frozen-policy inference path.
+func TestQuantizedForwardZeroAllocs(t *testing.T) {
+	m := NewMLP(334, 5, LayerSpec{Units: 175, Act: Tanh}, LayerSpec{Units: 16, Act: Linear})
+	q := Quantize(m)
+	x := make([]float64, 334)
+	for i := range x {
+		x[i] = float64(i%7) / 7
+	}
+	allocs := testing.AllocsPerRun(200, func() { q.Forward(x) })
+	if allocs != 0 {
+		t.Errorf("Quantized.Forward allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestQuantizedPanicsOnBadInput(t *testing.T) {
+	q := Quantize(NewMLP(4, 1, LayerSpec{Units: 2, Act: Linear}))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong input width")
+		}
+	}()
+	q.Forward(make([]float64, 3))
+}

@@ -75,6 +75,25 @@ type Agent struct {
 	target []float64
 	batch  []Transition
 
+	// Batched-minibatch scratch: the whole replay minibatch gathered into
+	// row-major matrices for single ForwardBatch/BackwardBatch kernel
+	// calls. nextRow maps a sample to its row in the target-network batch
+	// (Gamma > 0 only), -1 when the sample has no next state.
+	bstate  []float64
+	btarget []float64
+	bnext   []float64
+	nextRow []int
+
+	// qint8, when non-nil, scores Victim decisions with the frozen int8
+	// network. Evaluation-only: training decisions always use the float
+	// net, so SetInt8 never changes a training run.
+	qint8 *nn.Quantized
+
+	// scalarTrain forces the retained per-sample training step — a test
+	// hook for proving the batched step is byte-identical, never set in
+	// production paths.
+	scalarTrain bool
+
 	// Telemetry accumulators, drained per epoch by TakeTelemetry. Plain
 	// float/integer adds on the decision and minibatch paths: no
 	// allocation, no effect on decisions, negligible cost, so they run
@@ -134,6 +153,9 @@ func (a *Agent) LoadModel(r io.Reader) error {
 	}
 	a.q = m
 	a.tgt.CopyWeightsFrom(m)
+	if a.qint8 != nil {
+		a.qint8 = nn.Quantize(a.q)
+	}
 	return nil
 }
 
@@ -159,9 +181,35 @@ func (a *Agent) Init(cfg policy.Config) {
 	a.state = make([]float64, size)
 	a.pendingState = make([]float64, size)
 	a.target = make([]float64, cfg.Ways)
+	a.bstate = make([]float64, a.cfg.BatchSize*size)
+	a.btarget = make([]float64, a.cfg.BatchSize*cfg.Ways)
+	a.bnext = make([]float64, a.cfg.BatchSize*size)
+	a.nextRow = make([]int, a.cfg.BatchSize)
+	a.q.EnsureBatch(a.cfg.BatchSize)
+	a.tgt.EnsureBatch(a.cfg.BatchSize)
+	a.qint8 = nil
 	a.pendingValid = false
 	a.sim = nil
 }
+
+// SetInt8 toggles frozen int8 inference: on freezes the current online
+// network into an nn.Quantized copy used for greedy Victim scoring while
+// training is off; off returns to float inference. The copy is rebuilt by
+// LoadModel, so freeze-then-load stays coherent. Evaluation-only runs
+// (rlrsim, sweeps) use this behind the experiments accuracy gate.
+func (a *Agent) SetInt8(on bool) {
+	if !on {
+		a.qint8 = nil
+		return
+	}
+	if a.q == nil {
+		panic("rl: SetInt8 before Init")
+	}
+	a.qint8 = nn.Quantize(a.q)
+}
+
+// Int8 reports whether frozen int8 inference is active.
+func (a *Agent) Int8() bool { return a.qint8 != nil }
 
 // Victim implements policy.Policy: ε-greedy argmax over the network's
 // per-way quality estimates, with reward generation and replay/training on
@@ -173,7 +221,12 @@ func (a *Agent) Victim(ctx policy.AccessCtx, set *cache.Set) int {
 	}
 	a.feat.Build(a.state, ctx, set, preuse)
 
-	qv := a.q.Forward(a.state)
+	var qv []float64
+	if a.qint8 != nil && !a.training {
+		qv = a.qint8.Forward(a.state)
+	} else {
+		qv = a.q.Forward(a.state)
+	}
 	action := argmax(qv)
 	if a.training && a.rng.Float64() < a.cfg.Epsilon {
 		action = a.rng.Intn(a.pcfg.Ways)
@@ -266,8 +319,76 @@ func (a *Agent) reward(ctx policy.AccessCtx, set *cache.Set, action int) float64
 	return 0
 }
 
-// trainStep runs one minibatch DQN update.
+// trainStep runs one minibatch DQN update through the batched matrix
+// kernels: the whole minibatch's states go through one ForwardBatch, the
+// masked targets through one BackwardBatch. Byte-identical to the
+// retained per-sample trainStepScalar — the RNG draws are the same
+// Sample call, each forward row is bit-identical to a scalar Forward,
+// the loss sums squared errors in the same ascending sample order, and
+// BackwardBatch accumulates gradients in the order sequential Backward
+// calls would — so batching cannot change trained weights for a fixed
+// seed (TestBatchedTrainByteIdentical pins this).
 func (a *Agent) trainStep() {
+	if a.scalarTrain {
+		a.trainStepScalar()
+		return
+	}
+	a.batch = a.replay.Sample(a.batch, a.cfg.BatchSize, a.rng)
+	n := len(a.batch)
+	if n == 0 {
+		return
+	}
+	size := a.q.InputSize()
+	ways := a.q.OutputSize()
+
+	// Bootstrap terms from the target network, one batched forward over
+	// the samples that have a next state (Gamma > 0 runs only).
+	var nextOut []float64
+	if a.cfg.Gamma > 0 {
+		rows := 0
+		for i, tr := range a.batch {
+			a.nextRow[i] = -1
+			if len(tr.NextState) > 0 {
+				copy(a.bnext[rows*size:(rows+1)*size], tr.NextState)
+				a.nextRow[i] = rows
+				rows++
+			}
+		}
+		if rows > 0 {
+			nextOut = a.tgt.ForwardBatch(a.bnext[:rows*size], rows)
+		}
+	}
+
+	for i, tr := range a.batch {
+		copy(a.bstate[i*size:(i+1)*size], tr.State)
+	}
+	a.q.ZeroGrad()
+	out := a.q.ForwardBatch(a.bstate[:n*size], n)
+	loss := 0.0
+	for i, tr := range a.batch {
+		y := tr.Reward
+		if a.cfg.Gamma > 0 && a.nextRow[i] >= 0 {
+			r := a.nextRow[i]
+			y += a.cfg.Gamma * maxOf(nextOut[r*ways:(r+1)*ways])
+		}
+		d := y - out[i*ways+tr.Action]
+		loss += d * d
+		row := a.btarget[i*ways : (i+1)*ways]
+		for j := range row {
+			row[j] = math.NaN()
+		}
+		row[tr.Action] = y
+	}
+	a.q.BackwardBatch(a.btarget[:n*ways], n)
+	a.q.AdamStep(a.cfg.LearningRate, n)
+	a.telLossSum += loss / float64(n)
+	a.telBatches++
+}
+
+// trainStepScalar is the pre-batching minibatch update, one sample at a
+// time. Kept as the equivalence oracle for the batched step (and as the
+// portable reference should the kernels ever be in doubt).
+func (a *Agent) trainStepScalar() {
 	a.batch = a.replay.Sample(a.batch, a.cfg.BatchSize, a.rng)
 	a.q.ZeroGrad()
 	loss := 0.0

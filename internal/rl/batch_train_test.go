@@ -1,0 +1,214 @@
+package rl
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// multiSetTrace spreads a cyclic pattern across both sets of the 2-set
+// test geometry so sharded training has work in every shard.
+func multiSetTrace(nBlocks, reps int) []trace.Access {
+	var out []trace.Access
+	for r := 0; r < reps; r++ {
+		for b := 0; b < nBlocks; b++ {
+			out = append(out, trace.Access{
+				PC:   uint64(0x400 + b*4),
+				Addr: uint64(b) * 64, // stride 1 block → alternating sets
+				Type: trace.Load,
+			})
+		}
+	}
+	return out
+}
+
+// TestBatchedTrainByteIdentical is the checkpoint-compatibility pin: the
+// batched minibatch step must leave the trainer in EXACTLY the state the
+// per-sample step does — same weights, same optimizer moments, same RNG,
+// same replay ring — for a fixed seed. Byte equality of the full
+// serialized state is the strongest form of "batching did not change
+// training".
+func TestBatchedTrainByteIdentical(t *testing.T) {
+	for _, gamma := range []float64{0, 0.9} {
+		cc, opts := trainCfg()
+		opts.Epochs = 2
+		opts.Agent.Gamma = gamma
+		accesses := cyclicTrace(6, 50)
+
+		batched := NewTrainer(cc, accesses, opts)
+		scalar := NewTrainer(cc, accesses, opts)
+		scalar.Agent().scalarTrain = true
+
+		got := finalState(t, batched)
+		want := finalState(t, scalar)
+		if !bytes.Equal(got, want) {
+			t.Errorf("gamma=%.1f: batched and scalar training states differ (%d vs %d bytes)",
+				gamma, len(got), len(want))
+		}
+	}
+}
+
+// TestTracedDecisionsIdenticalUnderBatchedTraining covers the obs/Traced
+// satellite: a batched-trained agent, evaluated under policy.Traced, must
+// emit exactly the decision records a scalar-trained agent does — one
+// record per victim, byte-identical fields.
+func TestTracedDecisionsIdenticalUnderBatchedTraining(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 2
+	accesses := cyclicTrace(6, 50)
+
+	runTraced := func(scalarStep bool) ([]obs.CacheEvent, cachesim.Stats) {
+		tr := NewTrainer(cc, accesses, opts)
+		tr.Agent().scalarTrain = scalarStep
+		tr.Run()
+		agent := tr.Finish()
+		ring := obs.NewRingSink(len(accesses))
+		traced := policy.NewTraced(agent, obs.NewSinkHook(ring, 1))
+		sim := cachesim.New(cc, 1, traced)
+		agent.SetSim(sim)
+		stats := sim.Run(accesses)
+		return ring.Snapshot(), stats
+	}
+
+	gotEv, gotStats := runTraced(false)
+	wantEv, wantStats := runTraced(true)
+	if gotStats != wantStats {
+		t.Errorf("batched-trained eval stats %+v differ from scalar-trained %+v", gotStats, wantStats)
+	}
+	if len(gotEv) == 0 {
+		t.Fatal("traced evaluation recorded no decisions")
+	}
+	if len(gotEv) != len(wantEv) {
+		t.Fatalf("decision record count differs: %d vs %d", len(gotEv), len(wantEv))
+	}
+	for i := range gotEv {
+		if !reflect.DeepEqual(gotEv[i], wantEv[i]) {
+			t.Fatalf("decision record %d differs:\n  batched: %+v\n  scalar:  %+v", i, gotEv[i], wantEv[i])
+		}
+		if gotEv[i].Kind != obs.EvDecision {
+			t.Fatalf("record %d has kind %v, want EvDecision", i, gotEv[i].Kind)
+		}
+	}
+}
+
+// TestTrainShardedParallelDeterministic pins the parallel-training
+// determinism contract: results are a pure function of (trace, config),
+// independent of the worker count, and the stats merge is in shard order.
+func TestTrainShardedParallelDeterministic(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 2
+	accesses := multiSetTrace(12, 50) // 6 blocks per 4-way set → evictions in both shards
+
+	run := func(workers int) ([][]byte, []ShardStats, cachesim.Stats) {
+		old := sched.Workers()
+		sched.SetWorkers(workers)
+		defer sched.SetWorkers(old)
+		sh, stats := TrainShardedParallel(cc, 2, accesses, opts)
+		var models [][]byte
+		for _, a := range sh.Agents() {
+			var buf bytes.Buffer
+			if err := a.SaveModel(&buf); err != nil {
+				t.Fatalf("SaveModel: %v", err)
+			}
+			models = append(models, buf.Bytes())
+		}
+		return models, stats, EvaluateSharded(cc, sh, accesses)
+	}
+
+	m1, s1, e1 := run(1)
+	m8, s8, e8 := run(8)
+	for i := range m1 {
+		if !bytes.Equal(m1[i], m8[i]) {
+			t.Errorf("shard %d: model differs between 1 and 8 workers", i)
+		}
+	}
+	if !reflect.DeepEqual(s1, s8) {
+		t.Errorf("shard stats differ across worker counts: %+v vs %+v", s1, s8)
+	}
+	if e1 != e8 {
+		t.Errorf("evaluation differs across worker counts: %+v vs %+v", e1, e8)
+	}
+
+	total := 0
+	for i, st := range s1 {
+		if st.Shard != i {
+			t.Errorf("stats[%d].Shard = %d, want %d (shard-order merge)", i, st.Shard, i)
+		}
+		total += st.Accesses
+	}
+	if total != len(accesses) {
+		t.Errorf("shard sub-traces cover %d accesses, trace has %d", total, len(accesses))
+	}
+	if s1[0].Decisions == 0 && s1[1].Decisions == 0 {
+		t.Error("no shard made any training decisions")
+	}
+}
+
+// TestEvaluateInt8 exercises the frozen int8 evaluation path end to end:
+// it must run the whole trace, leave the agent back on float inference,
+// and land near the float result. The tight 0.1 pp gate lives in the
+// experiments quantgate test over the fig1 grid; this is the unit-level
+// sanity bound.
+func TestEvaluateInt8(t *testing.T) {
+	cc, opts := trainCfg()
+	opts.Epochs = 2
+	accesses := cyclicTrace(6, 60)
+	agent := Train(cc, accesses, opts)
+
+	f := Evaluate(cc, agent, accesses)
+	q := EvaluateInt8(cc, agent, accesses)
+	if agent.Int8() {
+		t.Error("agent still in int8 mode after EvaluateInt8")
+	}
+	if q.Hits+q.Misses != f.Hits+f.Misses {
+		t.Fatalf("int8 run covered %d accesses, float %d", q.Hits+q.Misses, f.Hits+f.Misses)
+	}
+	if d := q.HitRate() - f.HitRate(); d > 10 || d < -10 {
+		t.Errorf("int8 hit rate %.2f%% far from float %.2f%%", q.HitRate(), f.HitRate())
+	}
+}
+
+// TestSetInt8Lifecycle: panics before Init, freezes after, and the frozen
+// copy follows LoadModel.
+func TestSetInt8Lifecycle(t *testing.T) {
+	cc, opts := trainCfg()
+	agent := NewAgent(opts.Agent)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetInt8 before Init did not panic")
+			}
+		}()
+		agent.SetInt8(true)
+	}()
+
+	trained := Train(cc, cyclicTrace(6, 40), opts)
+	var model bytes.Buffer
+	if err := trained.SaveModel(&model); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewAgent(opts.Agent)
+	fresh.Init(policy.Config{Config: cache.Config{Sets: cc.Sets, Ways: cc.Ways, LineSize: cc.LineSize}, NumCores: 1})
+	fresh.SetInt8(true)
+	if !fresh.Int8() {
+		t.Fatal("Int8() false after SetInt8(true)")
+	}
+	if err := fresh.LoadModel(bytes.NewReader(model.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Int8() {
+		t.Error("LoadModel dropped the int8 copy instead of rebuilding it")
+	}
+	fresh.SetInt8(false)
+	if fresh.Int8() {
+		t.Error("Int8() true after SetInt8(false)")
+	}
+}

@@ -57,6 +57,13 @@ func (s *Sharded) SetTraining(on bool) {
 	}
 }
 
+// SetInt8 toggles frozen int8 inference on every shard.
+func (s *Sharded) SetInt8(on bool) {
+	for _, a := range s.agents {
+		a.SetInt8(on)
+	}
+}
+
 // Name implements policy.Policy.
 func (*Sharded) Name() string { return "rl-sharded" }
 

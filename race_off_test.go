@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// smokes skip themselves under its instrumentation overhead.
+const raceEnabled = false
