@@ -8,6 +8,8 @@
 //	benchjson -run fig10,fig4 -o BENCH_parallel.json
 //	benchjson -hotpath                # per-access hot path -> BENCH_hotpath.json
 //	benchjson -hotpath -quick -o -    # CI smoke: small trace, stdout
+//	benchjson -intervals              # representative intervals -> BENCH_intervals.json
+//	benchjson -intervals -quick -o -  # CI smoke: one small workload, stdout
 //
 // The memo caches are cleared before every timed run, so both columns
 // measure cold, full work; the speedup column is serial/parallel. With
@@ -55,10 +57,22 @@ func main() {
 		out     = flag.String("o", "", "output file ('-' for stdout; default BENCH_parallel.json or BENCH_hotpath.json)")
 		jobs    = flag.Int("jobs", 0, "parallel column's worker count (0 = NumCPU)")
 		hotpath = flag.Bool("hotpath", false, "measure the per-access hot path instead of the experiment grid")
-		quick   = flag.Bool("quick", false, "with -hotpath: small trace and short budgets (CI smoke)")
+		intvls  = flag.Bool("intervals", false, "measure representative-interval selection vs full-trace simulation")
+		quick   = flag.Bool("quick", false, "with -hotpath/-intervals: small traces and short budgets (CI smoke)")
 	)
 	flag.Parse()
 
+	if *intvls {
+		path := *out
+		if path == "" {
+			path = "BENCH_intervals.json"
+		}
+		if err := runIntervals(*quick, *jobs, path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *hotpath {
 		path := *out
 		if path == "" {

@@ -8,6 +8,8 @@
 //	tracegen -list
 //	tracegen -workload 429.mcf -n 1000000 -o mcf.instr
 //	tracegen -workload 429.mcf -llc -n 200000 -o mcf.llc
+//	tracegen -workload 429.mcf -llc -chunked -compress -o mcf.llct
+//	tracegen -stat mcf.llct
 package main
 
 import (
@@ -23,14 +25,26 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list workloads")
-		name = flag.String("workload", "", "workload name")
-		n    = flag.Int("n", 1_000_000, "records to generate (instructions, or LLC accesses with -llc)")
-		out  = flag.String("o", "", "output file (default stdout)")
-		llc  = flag.Bool("llc", false, "capture an LLC access trace instead of an instruction trace")
+		list     = flag.Bool("list", false, "list workloads")
+		name     = flag.String("workload", "", "workload name")
+		n        = flag.Int("n", 1_000_000, "records to generate (instructions, or LLC accesses with -llc)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		llc      = flag.Bool("llc", false, "capture an LLC access trace instead of an instruction trace")
+		chunked  = flag.Bool("chunked", false, "with -llc: write the seekable chunked container instead of the flat stream")
+		compress = flag.Bool("compress", false, "with -chunked: flate-compress frame payloads")
+		frame    = flag.Int("frame", 0, "with -chunked: accesses per frame (0 = default)")
+		stat     = flag.String("stat", "", "print frame count, accesses, and unique blocks of a chunked trace, then exit")
+		line     = flag.Uint64("line", 64, "with -stat: cache line size for unique-block counting")
 	)
 	flag.Parse()
 
+	if *stat != "" {
+		if err := statChunked(*stat, *line); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		fmt.Println("SPEC CPU 2006-like workloads:")
 		for _, w := range workloads.SPECNames() {
@@ -59,11 +73,23 @@ func main() {
 
 	if *llc {
 		sys := uarch.NewSystem(uarch.DefaultConfig(1), policy.MustNew("lru"))
-		aw := trace.NewAccessWriter(w)
+		var write func(trace.Access) error
+		var finish func() error
+		if *chunked {
+			opts := trace.ChunkedWriterOptions{FrameAccesses: *frame}
+			if *compress {
+				opts.Codec = trace.CodecFlate
+			}
+			cw := trace.NewChunkedWriter(w, opts)
+			write, finish = cw.Write, cw.Close
+		} else {
+			aw := trace.NewAccessWriter(w)
+			write, finish = aw.Write, aw.Flush
+		}
 		captured := 0
 		sys.Hierarchy().SetLLCObserver(func(a trace.Access, hit bool) {
 			if captured < *n {
-				if err := aw.Write(a); err != nil {
+				if err := write(a); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
@@ -74,12 +100,16 @@ func main() {
 		for captured < *n {
 			sys.RunSingle(gen, 0, 100_000)
 		}
-		if err := aw.Flush(); err != nil {
+		if err := finish(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d LLC accesses for %s\n", captured, spec.Name)
 		return
+	}
+	if *chunked {
+		fmt.Fprintln(os.Stderr, "-chunked requires -llc (the chunked container holds LLC access records)")
+		os.Exit(2)
 	}
 
 	iw := trace.NewInstrWriter(w)

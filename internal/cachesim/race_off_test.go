@@ -1,0 +1,8 @@
+//go:build !race
+
+package cachesim
+
+// raceEnabled reports whether the race detector is compiled in; the
+// streaming end-to-end test shrinks itself under its instrumentation
+// overhead.
+const raceEnabled = false

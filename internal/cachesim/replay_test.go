@@ -1,0 +1,114 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func replayTestTrace(t *testing.T, n int) []trace.Access {
+	t.Helper()
+	spec, err := workloads.ByName("483.xalancbmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workloads.LLCAccesses(spec, n)
+}
+
+var replayCfg = cache.Config{Sets: 64, Ways: 8, LineSize: 64}
+
+// TestRunFramesMatchesRun: frame-granular replay must produce statistics
+// identical to the all-in-RAM replay, for every frame geometry.
+func TestRunFramesMatchesRun(t *testing.T) {
+	accesses := replayTestTrace(t, 20000)
+	want := RunPolicy(replayCfg, policy.MustNew("lru"), accesses)
+	for _, frame := range []int{1, 13, 512, 1 << 16} {
+		got, err := RunFramesPolicy(replayCfg, policy.MustNew("lru"), trace.NewSliceFrames(accesses, frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("frame=%d: stats %+v, want %+v", frame, got, want)
+		}
+	}
+}
+
+// TestRunFramesBeladyStreamOracle: the full streaming stack — chunked
+// frames + StreamOracle + chain-driven Belady — must match the in-memory
+// oracle replay exactly, with and without bypass.
+func TestRunFramesBeladyStreamOracle(t *testing.T) {
+	accesses := replayTestTrace(t, 20000)
+	src := trace.NewSliceFrames(accesses, 1024)
+	for _, bypass := range []bool{false, true} {
+		ref := policy.NewOracle(accesses, replayCfg.LineSize)
+		var pol policy.Policy
+		if bypass {
+			pol = policy.NewBeladyBypass(ref)
+		} else {
+			pol = policy.NewBelady(ref)
+		}
+		want := RunPolicy(replayCfg, pol, accesses)
+
+		so, err := policy.BuildStreamOracle(src, replayCfg.LineSize, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var spol policy.Policy
+		if bypass {
+			spol = policy.NewBeladyChainBypass(so)
+		} else {
+			spol = policy.NewBeladyChain(so)
+		}
+		got, err := RunFramesPolicy(replayCfg, spol, src)
+		so.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bypass=%v: streaming stats %+v, want %+v", bypass, got, want)
+		}
+	}
+}
+
+// TestRunRange: a measured window must report exactly the statistics a
+// manual replay of [start, start+n) observes after warmup accesses.
+func TestRunRange(t *testing.T) {
+	accesses := replayTestTrace(t, 30000)
+	src := trace.NewSliceFrames(accesses, 777)
+	for _, tc := range []struct{ start, n, warmup uint64 }{
+		{0, 5000, 0},
+		{100, 4000, 1000},
+		{7777, 8000, 2000},
+		{29990, 100, 10}, // clipped at trace end
+		{0, 30000, 0},
+	} {
+		// Reference: fresh simulator stepped by hand.
+		ref := New(replayCfg, 1, policy.MustNew("lru"))
+		end := tc.start + tc.n
+		if end > uint64(len(accesses)) {
+			end = uint64(len(accesses))
+		}
+		var base Stats
+		for i := tc.start; i < end; i++ {
+			if i-tc.start == tc.warmup {
+				base = ref.Stats()
+			}
+			ref.Step(accesses[i])
+		}
+		if end-tc.start < tc.warmup {
+			base = ref.Stats()
+		}
+		want := diffStats(ref.Stats(), base)
+
+		got, err := New(replayCfg, 1, policy.MustNew("lru")).RunRange(src, tc.start, tc.n, tc.warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("start=%d n=%d warmup=%d: stats %+v, want %+v", tc.start, tc.n, tc.warmup, got, want)
+		}
+	}
+}

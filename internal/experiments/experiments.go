@@ -101,7 +101,7 @@ func register(id, desc string, run func(s Scale) (*stats.Table, error)) {
 var paperOrder = []string{
 	"tab1", "fig10", "fig11", "fig12", "fig13", "tab4", "ablation",
 	"agesweep", "weightsweep", "kpcp", "quantgate", "fig1", "fig3", "fig4",
-	"fig5", "fig6", "fig7", "hillclimb",
+	"fig5", "fig6", "fig7", "intervals", "hillclimb",
 }
 
 // List returns all experiments in the paper's presentation order.
@@ -307,12 +307,13 @@ func ResetCaches() {
 	mixMemo.Reset()
 	victimMemo.Reset()
 	oracleMemo.Reset()
+	selectionMemo.Reset()
 }
 
 // cachedEntries reports the total number of memoized results (tests).
 func cachedEntries() int {
 	return traceMemo.Len() + agentMemo.Len() + ipcMemo.Len() +
-		mixMemo.Len() + victimMemo.Len() + oracleMemo.Len()
+		mixMemo.Len() + victimMemo.Len() + oracleMemo.Len() + selectionMemo.Len()
 }
 
 // runIPC executes one single-core timing run and returns the result.

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/intervals"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("intervals",
+		"representative-interval selection: weighted-interval vs full-trace hit rate and ranking agreement",
+		runIntervals)
+}
+
+// intervalBenches is the memory-intensive subset the interval study runs
+// on (cache-resident workloads have no replacement behaviour to preserve).
+var intervalBenches = []string{"429.mcf", "450.soplex", "483.xalancbmk", "462.libquantum"}
+
+// intervalPolicies is the zoo whose ranking the selection must preserve.
+// Belady (absolute trace positions) and MRU (non-stationary full-trace
+// behaviour) are excluded; see cmd/benchjson's -intervals mode for why.
+var intervalPolicies = []string{"lru", "srrip", "drrip", "ship", "hawkeye", "pdp"}
+
+// runIntervals compares full-trace simulation against weighted
+// representative intervals on the captured LLC traces: per policy the two
+// hit rates and their gap, per benchmark the interval coverage and the
+// Kendall-τ agreement between the two policy rankings. The wall-clock
+// speedup story at multi-million-access scale lives in
+// `benchjson -intervals` (BENCH_intervals.json); this experiment keeps the
+// fidelity check regenerable at every scale.
+func runIntervals(s Scale) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:  "Representative intervals: weighted-interval vs full-trace hit rate",
+		Header: []string{"benchmark", "policy", "full hit", "interval hit", "|Δ| pp"},
+	}
+	// Window the scale's trace into ~16 intervals and keep a cluster
+	// budget that leaves the clustering something to choose between.
+	window := s.TraceLen / 16
+	if window < 1024 {
+		window = 1024
+	}
+	warmup := uint64(2 * window)
+	// The cache must be small enough that one warmup fills it — a
+	// mostly-cold cache never evicts, which makes every policy identical
+	// inside the representative windows. An eighth of the scale's LLC
+	// keeps eviction pressure high at every TraceLen.
+	ccfg := s.LLCConfig()
+	if ccfg.Sets > 64 {
+		ccfg.Sets /= 8
+	}
+
+	type cell struct {
+		full cachesim.Stats
+		rep  intervals.RepResult
+		sel  intervals.Selection
+	}
+	grid, err := sched.Map(len(intervalBenches)*len(intervalPolicies), func(k int) (cell, error) {
+		bench := intervalBenches[k/len(intervalPolicies)]
+		polName := intervalPolicies[k%len(intervalPolicies)]
+		tr, err := CaptureLLCTrace(bench, s)
+		if err != nil {
+			return cell{}, err
+		}
+		src := trace.NewSliceFrames(tr, window)
+		sel, err := intervalSelection(bench, src, window, ccfg.LineSize, ccfg.Sets, s)
+		if err != nil {
+			return cell{}, err
+		}
+		full, err := cachesim.RunFramesPolicy(ccfg, policy.MustNew(polName), src)
+		if err != nil {
+			return cell{}, err
+		}
+		rep, err := intervals.EvaluateRepresentatives(ccfg,
+			func() policy.Policy { return policy.MustNew(polName) }, src, sel, warmup)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{full: full, rep: rep, sel: sel}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, bench := range intervalBenches {
+		row := grid[i*len(intervalPolicies) : (i+1)*len(intervalPolicies)]
+		full := make([]float64, len(intervalPolicies))
+		repr := make([]float64, len(intervalPolicies))
+		for j, polName := range intervalPolicies {
+			full[j] = row[j].full.HitRate()
+			repr[j] = row[j].rep.HitRate
+			delta := full[j] - repr[j]
+			if delta < 0 {
+				delta = -delta
+			}
+			tbl.AddRow(bench, polName, stats.Pct(full[j]), stats.Pct(repr[j]), stats.F2(delta))
+		}
+		sel := row[0].sel
+		coverage := 100 * float64(sel.SimulatedAccesses()) / float64(row[0].full.Accesses)
+		tbl.AddRow(bench, "summary",
+			fmt.Sprintf("reps=%d/%d", len(sel.Reps), sel.NumWindows),
+			fmt.Sprintf("coverage=%s", stats.Pct(coverage)),
+			fmt.Sprintf("tau=%s", stats.F2(stats.KendallTau(full, repr))))
+	}
+	return tbl, nil
+}
+
+// selectionMemo shares one k-means selection per (benchmark, scale) cell
+// across the concurrent policy columns.
+var selectionMemo = sched.NewMemo[intervals.Selection]()
+
+func intervalSelection(bench string, src trace.FrameSource, window int, lineSize uint64, sets int, s Scale) (intervals.Selection, error) {
+	key := fmt.Sprintf("%s/%s/%d/%d", bench, s.Name, s.TraceLen, s.CacheDiv)
+	return selectionMemo.Do(key, func() (intervals.Selection, error) {
+		return intervals.Select(src, intervals.Config{
+			Window: window, K: 4, Seed: 1, LineSize: lineSize, Sets: sets,
+		})
+	})
+}

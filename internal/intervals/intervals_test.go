@@ -1,0 +1,195 @@
+package intervals
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+var testCfg = cache.Config{Sets: 64, Ways: 8, LineSize: 64}
+
+// phaseTrace builds a trace with two starkly different phases: a
+// cache-friendly loop over a tiny working set, then a scan over a huge one.
+func phaseTrace(nPerPhase int) []trace.Access {
+	r := xrand.New(42)
+	accs := make([]trace.Access, 0, 2*nPerPhase)
+	for i := 0; i < nPerPhase; i++ {
+		b := uint64(r.Intn(64)) // fits in cache: high reuse, tiny distances
+		accs = append(accs, trace.Access{PC: 0x10, Addr: b * 64, Type: trace.Load})
+	}
+	for i := 0; i < nPerPhase; i++ {
+		b := uint64(1<<20) + uint64(i) // streaming scan: all cold
+		accs = append(accs, trace.Access{PC: 0x20, Addr: b * 64, Type: trace.RFO})
+	}
+	return accs
+}
+
+func TestSelectSeparatesPhases(t *testing.T) {
+	const window = 1024
+	accs := phaseTrace(8 * window)
+	src := trace.NewSliceFrames(accs, 4096)
+	sel, err := Select(src, Config{Window: window, K: 2, Seed: 7, LineSize: 64, Sets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NumWindows != 16 {
+		t.Fatalf("NumWindows = %d, want 16", sel.NumWindows)
+	}
+	if len(sel.Reps) != 2 {
+		t.Fatalf("got %d representatives, want 2", len(sel.Reps))
+	}
+	// Every window of phase 1 must share a cluster, likewise phase 2, and
+	// the two phases must land in different clusters.
+	c0 := sel.Assign[0]
+	for w := 0; w < 8; w++ {
+		if sel.Assign[w] != c0 {
+			t.Fatalf("phase-1 window %d in cluster %d, want %d", w, sel.Assign[w], c0)
+		}
+	}
+	c1 := sel.Assign[8]
+	if c1 == c0 {
+		t.Fatalf("phases were not separated: both in cluster %d", c0)
+	}
+	for w := 9; w < 16; w++ {
+		if sel.Assign[w] != c1 {
+			t.Fatalf("phase-2 window %d in cluster %d, want %d", w, sel.Assign[w], c1)
+		}
+	}
+	// Equal phases → equal weights.
+	for _, r := range sel.Reps {
+		if math.Abs(r.Weight-0.5) > 1e-9 {
+			t.Fatalf("rep weight %.3f, want 0.5", r.Weight)
+		}
+	}
+	if got := sel.SimulatedAccesses(); got != 2*window {
+		t.Fatalf("SimulatedAccesses = %d, want %d", got, 2*window)
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	accs := phaseTrace(4096)
+	src := trace.NewSliceFrames(accs, 1000)
+	cfg := Config{Window: 512, K: 4, Seed: 99, LineSize: 64, Sets: 64}
+	a, err := Select(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Reps) != len(b.Reps) {
+		t.Fatalf("rep counts differ: %d vs %d", len(a.Reps), len(b.Reps))
+	}
+	for i := range a.Reps {
+		if a.Reps[i] != b.Reps[i] {
+			t.Fatalf("rep %d differs: %+v vs %+v", i, a.Reps[i], b.Reps[i])
+		}
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}
+
+// TestWeightedHitRateTracksFullTrace checks the end-to-end promise on a
+// stationary workload: the weighted representative hit rate lands near the
+// full-trace hit rate.
+func TestWeightedHitRateTracksFullTrace(t *testing.T) {
+	r := xrand.New(11)
+	z := xrand.NewZipf(r, 4096, 0.9)
+	accs := make([]trace.Access, 64*1024)
+	for i := range accs {
+		accs[i] = trace.Access{PC: 0x40, Addr: uint64(z.Next()) * 64, Type: trace.Load}
+	}
+	src := trace.NewSliceFrames(accs, 8192)
+
+	full := cachesim.RunPolicy(testCfg, policy.MustNew("lru"), accs)
+
+	sel, err := Select(src, Config{Window: 4096, K: 3, Seed: 1, LineSize: 64, Sets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateRepresentatives(testCfg, func() policy.Policy { return policy.MustNew("lru") }, src, sel, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simulated >= uint64(len(accs)) {
+		t.Fatalf("representatives simulated %d accesses, not fewer than the %d-access trace", res.Simulated, len(accs))
+	}
+	if diff := math.Abs(res.HitRate - full.HitRate()); diff > 5.0 {
+		t.Fatalf("weighted hit rate %.2f%% vs full %.2f%% (|Δ| = %.2f > 5pp)", res.HitRate, full.HitRate(), diff)
+	}
+}
+
+func TestSelectKClamped(t *testing.T) {
+	accs := phaseTrace(512)
+	src := trace.NewSliceFrames(accs, 512)
+	sel, err := Select(src, Config{Window: 512, K: 100, Seed: 3, LineSize: 64, Sets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Reps) > sel.NumWindows {
+		t.Fatalf("%d reps from %d windows", len(sel.Reps), sel.NumWindows)
+	}
+	var wsum float64
+	for _, rep := range sel.Reps {
+		wsum += rep.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %.6f, want 1", wsum)
+	}
+}
+
+func TestComputeSignaturesShape(t *testing.T) {
+	accs := phaseTrace(1000)
+	src := trace.NewSliceFrames(accs, 333)
+	sigs, err := ComputeSignatures(src, SignatureConfig{Window: 300, LineSize: 64, Sets: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWindows := (2000 + 299) / 300
+	if len(sigs) != wantWindows {
+		t.Fatalf("got %d windows, want %d", len(sigs), wantWindows)
+	}
+	seen := uint64(0)
+	for i, s := range sigs {
+		if s.Window != i {
+			t.Fatalf("window %d has index %d", i, s.Window)
+		}
+		if s.Start != seen {
+			t.Fatalf("window %d starts at %d, want %d", i, s.Start, seen)
+		}
+		seen += uint64(s.N)
+		if len(s.Vec) != vecLen {
+			t.Fatalf("vec length %d, want %d", len(s.Vec), vecLen)
+		}
+		for j, x := range s.Vec {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				t.Fatalf("window %d feature %d out of [0,1]: %v", i, j, x)
+			}
+		}
+	}
+	if seen != 2000 {
+		t.Fatalf("windows cover %d accesses, want 2000", seen)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	src := trace.NewSliceFrames(phaseTrace(100), 100)
+	if _, err := Select(src, Config{Window: 0, K: 2, LineSize: 64, Sets: 64}); err == nil {
+		t.Fatal("Window=0 accepted")
+	}
+	if _, err := Select(src, Config{Window: 10, K: 0, LineSize: 64, Sets: 64}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := ComputeSignatures(src, SignatureConfig{Window: 10, LineSize: 0, Sets: 64}); err == nil {
+		t.Fatal("LineSize=0 accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// kmeans.go: deterministic k-means clustering over signature vectors —
+// k-means++ seeding from internal/xrand, Lloyd iterations, farthest-point
+// rescue for empty clusters. Everything is seeded, so a selection is
+// exactly reproducible across runs, platforms, and worker counts.
+package intervals
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// dist2 is the squared Euclidean distance between two vectors.
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeans clusters vecs into (at most) k clusters. It returns the final
+// centroids and the per-vector assignment. k is clamped to len(vecs).
+func kmeans(vecs [][]float64, k int, seed uint64, iters int) (centroids [][]float64, assign []int) {
+	n := len(vecs)
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return nil, nil
+	}
+	dim := len(vecs[0])
+	rng := xrand.New(xrand.Mix64(seed ^ 0x1e7a15))
+
+	// k-means++ seeding: first centroid uniform, then each next centroid
+	// drawn with probability proportional to squared distance from the
+	// nearest chosen one.
+	centroids = make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), vecs[first]...))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = dist2(vecs[i], centroids[0])
+	}
+	for len(centroids) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var next int
+		if sum == 0 {
+			// All remaining points coincide with a centroid; any choice
+			// yields an identical clustering.
+			next = rng.Intn(n)
+		} else {
+			target := rng.Float64() * sum
+			acc := 0.0
+			next = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), vecs[next]...)
+		centroids = append(centroids, c)
+		for i := range d2 {
+			if d := dist2(vecs[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	assign = make([]int, n)
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.MaxFloat64
+			for c := range centroids {
+				if d := dist2(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || it == 0 {
+				changed = changed || assign[i] != best || it == 0
+				assign[i] = best
+			}
+		}
+		for c := range sums {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Rescue an empty cluster with the point farthest from its
+				// current centroid (deterministic: lowest index wins ties).
+				far, farD := 0, -1.0
+				for i, v := range vecs {
+					if d := dist2(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], vecs[far])
+				assign[far] = c
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	// Final assignment against the converged centroids.
+	for i, v := range vecs {
+		best, bestD := 0, math.MaxFloat64
+		for c := range centroids {
+			if d := dist2(v, centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	return centroids, assign
+}

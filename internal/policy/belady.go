@@ -183,7 +183,7 @@ func (o *Oracle) Len() uint64 { return o.length }
 // position references one block), and the NeverUsed case short-circuits to
 // the first dead line found — also the lowest way.
 type Belady struct {
-	oracle      *Oracle
+	oracle      NextUseChain
 	AllowBypass bool
 	// nextUse[set][way] = trace index of the line's next reference,
 	// recorded at fill/hit time; NeverUsed for dead lines.
@@ -197,6 +197,17 @@ func NewBelady(o *Oracle) *Belady { return &Belady{oracle: o} }
 
 // NewBeladyBypass is NewBelady with MIN-style bypass enabled.
 func NewBeladyBypass(o *Oracle) *Belady { return &Belady{oracle: o, AllowBypass: true} }
+
+// NewBeladyChain wraps any NextUseChain (in particular a bounded-memory
+// StreamOracle) in the chain-driven Belady replay. A StreamOracle's
+// NextAfter is stateful, so unlike NewBelady each StreamOracle must back
+// exactly one policy instance.
+func NewBeladyChain(src NextUseChain) *Belady { return &Belady{oracle: src} }
+
+// NewBeladyChainBypass is NewBeladyChain with MIN-style bypass enabled.
+func NewBeladyChainBypass(src NextUseChain) *Belady {
+	return &Belady{oracle: src, AllowBypass: true}
+}
 
 // Name implements Policy.
 func (p *Belady) Name() string {

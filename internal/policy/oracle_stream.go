@@ -1,0 +1,153 @@
+// oracle_stream.go builds the Belady next-use chain in bounded memory.
+//
+// NewOracle needs the whole trace as a slice plus O(n) index arrays — fine
+// at a few hundred thousand accesses, impossible at the billion-access
+// scale the streaming pipeline targets. StreamOracle produces the *same
+// chain* (byte-identical; pinned by tests) with a two-pass construction
+// over a frame-granular trace source:
+//
+//  1. Backward pass: frames are read last-to-first; within each frame a
+//     reverse scan computes next[i] from a block→next-occurrence map that
+//     only ever holds one entry per distinct block (the workload's
+//     footprint, not the trace length). Each frame's chain section is
+//     spilled to a temp file at offset 8·FrameStart(i), so the passes
+//     never hold more than one frame of chain in memory.
+//  2. Forward replay: NextAfter(seq) serves chain reads from a sliding
+//     window over the spill file. In-order replay (the only access
+//     pattern Belady and the RL reward use) costs one sequential file
+//     read per window; out-of-order seqs still work via ReadAt, they just
+//     pay a window reload.
+//
+// Memory: O(frame + window + unique blocks) — independent of trace length.
+package policy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// NextUseChain is the read-only future-knowledge interface the chain-driven
+// Belady replay consumes: for the access at seq, the index of the next
+// reference to the same block (or NeverUsed). Implemented by *Oracle
+// (in-memory) and *StreamOracle (bounded-memory, on-disk chain).
+type NextUseChain interface {
+	// NextAfter returns the index of the next reference to the block
+	// touched by access seq, or NeverUsed.
+	NextAfter(seq uint64) uint64
+	// Len returns the trace length the chain was built from.
+	Len() uint64
+}
+
+// chainWindow is the number of chain entries held in memory by a
+// StreamOracle's replay window (8 bytes each → 512KB).
+const chainWindow = 1 << 16
+
+// StreamOracle is a bounded-memory NextUseChain backed by a spilled chain
+// file. Construct with BuildStreamOracle; Close releases the spill file.
+//
+// NextAfter is stateful (it slides the window) and must not be called from
+// multiple goroutines concurrently.
+type StreamOracle struct {
+	f      *os.File
+	length uint64
+	window []uint64
+	base   uint64 // seq of window[0]; valid entries are window[:len(window)]
+	buf    []byte
+}
+
+// BuildStreamOracle runs the backward pass over src and returns a
+// StreamOracle whose chain is identical to NewOracle's over the same
+// accesses. The spill file (8 bytes per access) is created in dir (""
+// uses the default temp directory) and removed on Close.
+func BuildStreamOracle(src trace.FrameSource, lineSize uint64, dir string) (*StreamOracle, error) {
+	shift := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	f, err := os.CreateTemp(dir, "oracle-chain-*.bin")
+	if err != nil {
+		return nil, err
+	}
+	o := &StreamOracle{f: f, length: src.NumAccesses(), base: ^uint64(0)}
+	// Unlink immediately: the open handle keeps the spill alive, and the
+	// name disappearing means a crashed run leaks no files.
+	os.Remove(f.Name())
+
+	head := make(map[uint64]uint64) // block → seq of its next (later) reference
+	var accesses []trace.Access
+	var chainBuf []byte
+	for i := src.Frames() - 1; i >= 0; i-- {
+		accesses, err = src.ReadFrameAt(i, accesses)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		start := src.FrameStart(i)
+		if need := len(accesses) * 8; cap(chainBuf) < need {
+			chainBuf = make([]byte, need)
+		}
+		chainBuf = chainBuf[:len(accesses)*8]
+		for j := len(accesses) - 1; j >= 0; j-- {
+			b := accesses[j].Addr >> shift
+			nx, ok := head[b]
+			if !ok {
+				nx = NeverUsed
+			}
+			binary.LittleEndian.PutUint64(chainBuf[j*8:], nx)
+			head[b] = start + uint64(j)
+		}
+		if _, err := f.WriteAt(chainBuf, int64(start)*8); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// Len implements NextUseChain.
+func (o *StreamOracle) Len() uint64 { return o.length }
+
+// NextAfter implements NextUseChain, serving the query from the sliding
+// chain window (reloading it from the spill file when seq falls outside).
+func (o *StreamOracle) NextAfter(seq uint64) uint64 {
+	if seq >= o.length {
+		return NeverUsed
+	}
+	if seq < o.base || seq >= o.base+uint64(len(o.window)) {
+		if err := o.loadWindow(seq); err != nil {
+			// I/O failure on an already-validated spill file is not a
+			// recoverable condition for a replay in flight.
+			panic(fmt.Sprintf("policy: StreamOracle chain read at seq %d: %v", seq, err))
+		}
+	}
+	return o.window[seq-o.base]
+}
+
+// loadWindow positions the window so it starts at seq.
+func (o *StreamOracle) loadWindow(seq uint64) error {
+	n := uint64(chainWindow)
+	if seq+n > o.length {
+		n = o.length - seq
+	}
+	if cap(o.buf) < int(n*8) {
+		o.buf = make([]byte, n*8)
+		o.window = make([]uint64, n)
+	}
+	o.buf = o.buf[:n*8]
+	o.window = o.window[:n]
+	if _, err := o.f.ReadAt(o.buf, int64(seq)*8); err != nil {
+		return err
+	}
+	for i := range o.window {
+		o.window[i] = binary.LittleEndian.Uint64(o.buf[i*8:])
+	}
+	o.base = seq
+	return nil
+}
+
+// Close releases the spill file. The StreamOracle must not be used
+// afterwards.
+func (o *StreamOracle) Close() error { return o.f.Close() }

@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// streamTestTrace builds a reuse-heavy random trace (small block universe
+// so chains are dense).
+func streamTestTrace(n int, seed uint64) []trace.Access {
+	rng := xrand.New(seed)
+	out := make([]trace.Access, n)
+	for i := range out {
+		out[i] = trace.Access{
+			PC:   0x400000 + uint64(rng.Intn(64))*4,
+			Addr: uint64(rng.Intn(n/4+8)) * 64,
+			Type: trace.AccessType(rng.Intn(int(trace.NumAccessTypes))),
+		}
+	}
+	return out
+}
+
+// TestStreamOracleChainMatchesSlice: the streaming two-pass construction
+// must produce a chain byte-identical to NewOracle's, over both the
+// in-memory frame adapter and a real chunked container, across frame
+// geometries (including frames that don't divide the trace length).
+func TestStreamOracleChainMatchesSlice(t *testing.T) {
+	const lineSize = 64
+	for _, n := range []int{1, 5, 1000, 4096, 10007} {
+		accesses := streamTestTrace(n, uint64(n))
+		ref := NewOracle(accesses, lineSize)
+		for _, frame := range []int{1, 7, 256, 1 << 16} {
+			// In-memory frames.
+			so, err := BuildStreamOracle(trace.NewSliceFrames(accesses, frame), lineSize, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if so.Len() != ref.Len() {
+				t.Fatalf("n=%d frame=%d: Len %d vs %d", n, frame, so.Len(), ref.Len())
+			}
+			for seq := uint64(0); seq < uint64(n); seq++ {
+				if got, want := so.NextAfter(seq), ref.NextAfter(seq); got != want {
+					t.Fatalf("n=%d frame=%d: NextAfter(%d) = %d, want %d", n, frame, seq, got, want)
+				}
+			}
+			if got := so.NextAfter(uint64(n) + 3); got != NeverUsed {
+				t.Fatalf("NextAfter beyond trace = %d, want NeverUsed", got)
+			}
+			so.Close()
+
+			// Chunked container frames.
+			var buf bytes.Buffer
+			cw := trace.NewChunkedWriter(&buf, trace.ChunkedWriterOptions{FrameAccesses: frame})
+			for _, a := range accesses {
+				if err := cw.Write(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := cw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			cf, err := trace.NewChunkedFile(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			so, err = BuildStreamOracle(cf, lineSize, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seq := uint64(0); seq < uint64(n); seq++ {
+				if got, want := so.NextAfter(seq), ref.NextAfter(seq); got != want {
+					t.Fatalf("chunked n=%d frame=%d: NextAfter(%d) = %d, want %d", n, frame, seq, got, want)
+				}
+			}
+			so.Close()
+		}
+	}
+}
+
+// TestStreamOracleRandomAccess: out-of-order queries pay a window reload
+// but must return the same chain values.
+func TestStreamOracleRandomAccess(t *testing.T) {
+	const lineSize = 64
+	accesses := streamTestTrace(200000, 99)
+	ref := NewOracle(accesses, lineSize)
+	so, err := BuildStreamOracle(trace.NewSliceFrames(accesses, 1024), lineSize, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer so.Close()
+	rng := xrand.New(7)
+	for i := 0; i < 5000; i++ {
+		seq := rng.Uint64n(uint64(len(accesses)))
+		if got, want := so.NextAfter(seq), ref.NextAfter(seq); got != want {
+			t.Fatalf("NextAfter(%d) = %d, want %d", seq, got, want)
+		}
+	}
+}
+
+// TestStreamOracleEmptyTrace: zero-length traces must build and answer
+// NeverUsed without touching the spill file.
+func TestStreamOracleEmptyTrace(t *testing.T) {
+	so, err := BuildStreamOracle(trace.NewSliceFrames(nil, 16), 64, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer so.Close()
+	if got := so.NextAfter(0); got != NeverUsed {
+		t.Fatalf("NextAfter(0) on empty trace = %d", got)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// KendallTau computes the Kendall rank correlation coefficient (tau-b,
+// which corrects for ties) between two paired samples. It answers "do two
+// measurements rank the items the same way?" — the experiment harness uses
+// it to compare the policy ranking induced by representative-interval
+// simulation against the full-trace ranking. Returns values in [-1, 1];
+// +1 is identical ranking, -1 is fully reversed. Mismatched lengths are a
+// programming error and panic; fewer than two pairs, or a sample with all
+// values tied, yields NaN (no ranking exists to correlate).
+func KendallTau(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: KendallTau needs equal-length samples")
+	}
+	n := len(x)
+	if n < 2 {
+		return math.NaN()
+	}
+	var concordant, discordant, tiesX, tiesY int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// Tied in both; contributes to neither denominator term.
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case (dx > 0) == (dy > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	d1 := float64(concordant + discordant + tiesX)
+	d2 := float64(concordant + discordant + tiesY)
+	if d1 == 0 || d2 == 0 {
+		return math.NaN()
+	}
+	return float64(concordant-discordant) / math.Sqrt(d1*d2)
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKendallTau(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"identical", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{"reversed", []float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}, -1},
+		{"one-swap", []float64{1, 2, 3, 4}, []float64{1, 2, 4, 3}, 4.0 / 6.0},
+		{"independent-ish", []float64{1, 2, 3, 4}, []float64{2, 1, 4, 3}, 2.0 / 6.0},
+	}
+	for _, c := range cases {
+		if got := KendallTau(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: tau = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// y has one tied pair; tau-b denominator shrinks on y's side.
+	// Pairs: (1,2):C (1,3):C (2,3): x differs, y tied → tiesY.
+	got := KendallTau([]float64{1, 2, 3}, []float64{1, 2, 2})
+	want := 2.0 / math.Sqrt(3*2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tau with ties = %v, want %v", got, want)
+	}
+}
+
+func TestKendallTauDegenerate(t *testing.T) {
+	if v := KendallTau([]float64{1}, []float64{2}); !math.IsNaN(v) {
+		t.Fatalf("single pair: got %v, want NaN", v)
+	}
+	if v := KendallTau([]float64{1, 2, 3}, []float64{5, 5, 5}); !math.IsNaN(v) {
+		t.Fatalf("all-tied sample: got %v, want NaN", v)
+	}
+}
+
+func TestKendallTauPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	KendallTau([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzChunkedReader: arbitrary bytes must produce records or an error —
+// never a panic, unbounded allocation, or an infinite loop — on both the
+// sequential and the indexed read path. Valid containers seeded into the
+// corpus must round-trip.
+func FuzzChunkedReader(f *testing.F) {
+	// Seed with valid containers of both codecs so the fuzzer mutates
+	// structurally interesting inputs, plus raw garbage.
+	for _, codec := range []Codec{CodecRaw, CodecFlate} {
+		var buf bytes.Buffer
+		cw := NewChunkedWriter(&buf, ChunkedWriterOptions{FrameAccesses: 8, Codec: codec})
+		for _, a := range genAccesses(50, uint64(codec)+1) {
+			if err := cw.Write(a); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := cw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(chunkedMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Sequential: every record consumes at least one payload byte, so
+		// the reader can never produce more records than input bytes.
+		if cr, err := NewChunkedReader(bytes.NewReader(data)); err == nil {
+			n := 0
+			for {
+				_, err := cr.Read()
+				if err != nil {
+					break
+				}
+				n++
+				if n > len(data) {
+					t.Fatalf("sequential reader produced %d records from %d bytes", n, len(data))
+				}
+			}
+		}
+
+		// Indexed: open + every frame.
+		if cf, err := NewChunkedFile(bytes.NewReader(data), int64(len(data))); err == nil {
+			var fb []Access
+			for i := 0; i < cf.Frames(); i++ {
+				if fb, err = cf.ReadFrameAt(i, fb); err != nil {
+					break
+				}
+			}
+		}
+	})
+}
+
+// TestChunkedReaderNeverPanicsOnGarbage mirrors the legacy formats'
+// quick-check fuzzing: arbitrary bytes after a valid header must error
+// cleanly.
+func TestChunkedReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		buf.WriteString(chunkedMagic)
+		buf.Write([]byte{chunkedVersion, 0, 0, 1, 0, 0}) // codec raw, frameCap 256
+		buf.Write(payload)
+		r, err := NewChunkedReader(&buf)
+		if err != nil {
+			return true
+		}
+		for i := 0; i <= len(payload); i++ {
+			if _, err := r.Read(); err != nil {
+				return true // terminated with EOF or an error: fine
+			}
+		}
+		_, err = r.Read()
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

