@@ -1,0 +1,112 @@
+// Command rlcached serves the policy-zoo cache over HTTP: a key/value
+// cache whose eviction runs any registered replacement policy (lru, drrip,
+// ship, hawkeye, cbr, rlr, ...) over a sharded, byte-budgeted synthetic
+// set geometry. See internal/server for the protocol.
+//
+// Usage:
+//
+//	rlcached                                  # lru on :8940, 256 MiB
+//	rlcached -policy drrip -shards 4 -mem-mb 512
+//	rlcached -addr 127.0.0.1:0 -addr-file a   # ephemeral port for scripts
+//	rlcached -obs-addr 127.0.0.1:9100         # separate obs endpoint
+//
+// The server mounts /kv/<key> (GET/PUT/DELETE), /stats (JSON), /metrics
+// (obs registry), and /healthz on -addr; -obs-addr additionally serves the
+// standard obs endpoint (metrics, expvar, pprof).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	_ "repro/internal/core" // registers rlr / rlr-unopt / rlr-mc
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8940", "listen address (use :0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file (for scripts)")
+		polName   = flag.String("policy", "lru", "replacement policy (internal/policy registry name)")
+		shards    = flag.Int("shards", 0, "tag shards, power of two (0 = NumCPU rounded down to a power of two)")
+		sets      = flag.Int("sets", 4096, "total synthetic sets across shards (power of two)")
+		ways      = flag.Int("ways", 16, "ways per synthetic set")
+		memMB     = flag.Int64("mem-mb", 256, "total byte budget in MiB, split across shards")
+		maxObject = flag.Int64("max-object", 0, "admission bound in bytes; larger PUTs bypass (0 = budget/shards/4)")
+		obsAddr   = flag.String("obs-addr", "", "also serve the obs endpoint (metrics/expvar/pprof) on this address")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *shards <= 0 {
+		n := runtime.NumCPU()
+		*shards = 1 << (bits.Len(uint(n)) - 1) // round down to a power of two
+	}
+	obs.Enable() // the server is long-lived; metrics are the point
+
+	srv, err := server.New(server.Config{
+		Policy:         *polName,
+		Shards:         *shards,
+		Sets:           *sets,
+		Ways:           *ways,
+		MemoryBytes:    *memMB << 20,
+		MaxObjectBytes: *maxObject,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *obsAddr != "" {
+		obsBound, obsShutdown, err := obs.Serve(*obsAddr, nil)
+		if err != nil {
+			fail(err)
+		}
+		defer obsShutdown()
+		fmt.Printf("rlcached: obs endpoint on http://%s\n", obsBound)
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	fmt.Printf("rlcached: listening on http://%s policy=%s shards=%d sets=%d ways=%d mem=%dMiB\n",
+		bound, *polName, *shards, *sets, *ways, *memMB)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("rlcached: %v — draining\n", s)
+		sn := srv.Snapshot()
+		fmt.Printf("rlcached: served gets=%d hit_rate=%.2f%% fills=%d evictions=%d bytes=%d\n",
+			sn.Totals.Gets, sn.HitRatePct(), sn.Totals.Fills,
+			sn.Totals.Evictions+sn.Totals.BudgetEvictions, sn.Totals.Bytes)
+		httpSrv.Close()
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}
+}

@@ -1,15 +1,23 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"time"
 
 	"repro/internal/profiling"
 )
+
+// shutdownGrace bounds how long Serve's shutdown function waits for
+// in-flight responses (a /debug/pprof profile, a long /events dump)
+// before force-closing their connections.
+const shutdownGrace = 2 * time.Second
 
 // Serve starts the live-introspection endpoint on addr (the -obs-addr
 // flag) and returns the bound address plus a shutdown function. An empty
@@ -60,11 +68,31 @@ func Serve(addr string, ring *RingSink) (bound string, shutdown func(), err erro
 		})
 	}
 
+	return serveOn(addr, mux)
+}
+
+// serveOn binds addr and serves mux in the background. The returned
+// shutdown drains gracefully: in-flight responses get shutdownGrace to
+// finish (srv.Shutdown), then remaining connections are force-closed
+// (srv.Close). Serve errors other than the expected http.ErrServerClosed
+// are logged rather than dropped.
+func serveOn(addr string, mux http.Handler) (bound string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listen on %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("obs: serve on %s: %v", ln.Addr(), err)
+		}
+	}()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close() // grace expired: abort whatever is still in flight
+		}
+	}
+	return ln.Addr().String(), shutdown, nil
 }

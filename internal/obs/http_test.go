@@ -66,6 +66,65 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestShutdownDrainsInFlight is the regression test for shutdown aborting
+// live responses: a request that is mid-body when shutdown is called must
+// still complete. Before serveOn drained via srv.Shutdown, the shutdown
+// function called srv.Close, which severed the connection and the client
+// saw a truncated body / transport error.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "part1-")
+		w.(http.Flusher).Flush()
+		close(inHandler)
+		<-release // hold the response open across the shutdown call
+		io.WriteString(w, "part2")
+	})
+
+	bound, shutdown, err := serveOn("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + bound + "/slow")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(body), err: err}
+	}()
+
+	<-inHandler
+	done := make(chan struct{})
+	go func() { shutdown(); close(done) }()
+	time.Sleep(20 * time.Millisecond) // let Shutdown start draining
+	close(release)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", r.err)
+	}
+	if r.body != "part1-part2" {
+		t.Fatalf("in-flight body truncated across shutdown: %q", r.body)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * shutdownGrace):
+		t.Fatal("shutdown did not return")
+	}
+}
+
 // TestServeDisabled pins the no-flag path: empty address means no listener
 // and a callable shutdown.
 func TestServeDisabled(t *testing.T) {

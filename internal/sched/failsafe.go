@@ -29,11 +29,29 @@ func Compose(job Job, wrappers ...Wrapper) Job {
 	return job
 }
 
+// retrySleepCap saturates Retry's exponential backoff: doubling stops
+// once the sleep reaches a minute, instead of overflowing time.Duration.
+const retrySleepCap = time.Minute
+
+// retrySleep is the backoff before retry attempt a (a >= 1): backoff
+// doubled a-1 times, saturating at retrySleepCap. The naive backoff<<(a-1)
+// overflows int64 once the shift passes ~62 bits — a negative Duration
+// that time.Sleep treats as zero, silently turning late retries into a
+// hot loop — so both the shift width and the product are clamped.
+func retrySleep(backoff time.Duration, a int) time.Duration {
+	shift := uint(a - 1)
+	if shift >= 63 || backoff > retrySleepCap>>shift {
+		return retrySleepCap
+	}
+	return backoff << shift
+}
+
 // Retry re-runs a failing job until it succeeds or attempts total runs have
-// been made, sleeping backoff, 2·backoff, 4·backoff… between runs (pass 0
-// for immediate retries). The last error is returned. Panics (already
-// converted to *PanicError by the pool or Deadline) are not retried: the
-// jobs here are deterministic, so a panic would simply repeat.
+// been made, sleeping backoff, 2·backoff, 4·backoff… between runs, capped
+// at retrySleepCap (pass 0 for immediate retries). The last error is
+// returned. Panics (already converted to *PanicError by the pool or
+// Deadline) are not retried: the jobs here are deterministic, so a panic
+// would simply repeat.
 func Retry(attempts int, backoff time.Duration) Wrapper {
 	if attempts < 1 {
 		attempts = 1
@@ -43,7 +61,7 @@ func Retry(attempts int, backoff time.Duration) Wrapper {
 			var err error
 			for a := 0; a < attempts; a++ {
 				if a > 0 && backoff > 0 {
-					time.Sleep(backoff << (a - 1))
+					time.Sleep(retrySleep(backoff, a))
 				}
 				if err = job(); err == nil {
 					return nil

@@ -200,6 +200,35 @@ func TestRetryExhaustsAttempts(t *testing.T) {
 	}
 }
 
+// TestRetrySleepNeverOverflows is the regression test for backoff<<(a-1)
+// overflowing time.Duration: around attempt 64 the shift wrapped into a
+// negative sleep (time.Sleep treats it as zero — a hot retry loop). The
+// schedule must stay positive, non-decreasing, and saturate at the cap.
+func TestRetrySleepNeverOverflows(t *testing.T) {
+	for _, backoff := range []time.Duration{time.Nanosecond, time.Millisecond, time.Second, retrySleepCap + time.Hour} {
+		prev := time.Duration(0)
+		for a := 1; a <= 200; a++ {
+			d := retrySleep(backoff, a)
+			if d <= 0 {
+				t.Fatalf("backoff=%v attempt=%d: sleep %v is not positive (overflow)", backoff, a, d)
+			}
+			if d > retrySleepCap {
+				t.Fatalf("backoff=%v attempt=%d: sleep %v exceeds cap %v", backoff, a, d, retrySleepCap)
+			}
+			if d < prev {
+				t.Fatalf("backoff=%v attempt=%d: sleep %v < previous %v (not monotone)", backoff, a, d, prev)
+			}
+			prev = d
+		}
+		if prev != retrySleepCap {
+			t.Errorf("backoff=%v: schedule should saturate at %v by attempt 200, got %v", backoff, retrySleepCap, prev)
+		}
+	}
+	if got := retrySleep(time.Second, 2); got != 2*time.Second {
+		t.Errorf("retrySleep(1s, 2) = %v, want 2s (doubling must still work below the cap)", got)
+	}
+}
+
 func TestRetryDoesNotRetryPanics(t *testing.T) {
 	calls := 0
 	job := Retry(5, 0)(func() error {

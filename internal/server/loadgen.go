@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// The load generator replays an LLC access trace as keyed cache requests:
+// each access's block address becomes a key, each request is a GET, and a
+// GET miss is followed by a PUT of a deterministic variable-size object —
+// the cache-aside protocol real services run, and the exact analogue of a
+// simulator miss+fill. Replay is sequential (one request in flight), so
+// hit and eviction counts are reproducible and comparable across policies;
+// the -qps throttle paces requests without reordering them.
+
+// ValueSize returns the deterministic payload size for a block: 64 B to
+// ~4 KiB, mixed from the block address so the distribution is stable
+// across runs and policies. Mixed-size objects are what separates
+// byte-budgeted policies from size-blind ones.
+func ValueSize(block uint64) int {
+	return 64 + int(xrand.Mix64(block^0x5eed)%3968)
+}
+
+// FillValue writes the canonical payload for block into buf (which it
+// grows as needed) and returns the slice. Content is a pure function of
+// the block, so re-PUTs of a key dedup to one blob in the content store.
+func FillValue(block uint64, buf []byte) []byte {
+	n := ValueSize(block)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	seed := xrand.Mix64(block)
+	for i := range buf {
+		buf[i] = byte(seed>>(8*(uint(i)&7)) ^ uint64(i))
+	}
+	return buf
+}
+
+// KeyOf renders the request key for an access: the hex block address.
+func KeyOf(a trace.Access) string {
+	return strconv.FormatUint(a.Addr>>6, 16)
+}
+
+// ReplayOptions configures a replay run.
+type ReplayOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8940".
+	BaseURL string
+	// QPS throttles the request rate; 0 replays at full speed.
+	QPS float64
+	// Client is the HTTP client to use (nil: a keep-alive default).
+	Client *http.Client
+}
+
+// ReplayReport is the client-side outcome of a replay.
+type ReplayReport struct {
+	Requests   uint64  `json:"requests"` // GETs + PUTs issued
+	Gets       uint64  `json:"gets"`
+	GetHits    uint64  `json:"get_hits"`
+	GetMisses  uint64  `json:"get_misses"`
+	Puts       uint64  `json:"puts"`
+	Bypasses   uint64  `json:"put_bypasses"` // PUTs the server declined to cache
+	HitRatePct float64 `json:"hit_rate_pct"`
+	WallSec    float64 `json:"wall_s"`
+	QPS        float64 `json:"qps"` // achieved request throughput
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MeanMicros float64 `json:"mean_us"`
+}
+
+// Replay drives accs against the server at opt.BaseURL and reports
+// client-observed throughput, latency percentiles, and hit rate. Requests
+// are issued one at a time in trace order.
+func Replay(accs []trace.Access, opt ReplayOptions) (ReplayReport, error) {
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	}
+	var rep ReplayReport
+	lats := make([]float64, 0, 2*len(accs))
+	var valBuf []byte
+
+	var period time.Duration
+	if opt.QPS > 0 {
+		period = time.Duration(float64(time.Second) / opt.QPS)
+	}
+	start := time.Now()
+	for i, a := range accs {
+		if period > 0 {
+			next := start.Add(time.Duration(i) * period)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		key := KeyOf(a)
+		url := opt.BaseURL + "/kv/" + key
+		pcHex := strconv.FormatUint(a.PC, 16)
+
+		t0 := time.Now()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return rep, err
+		}
+		req.Header.Set("X-PC", pcHex)
+		resp, err := client.Do(req)
+		if err != nil {
+			return rep, fmt.Errorf("loadgen: GET %s: %w", key, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		lats = append(lats, float64(time.Since(t0).Microseconds()))
+		rep.Requests++
+		rep.Gets++
+		hit := resp.StatusCode == http.StatusOK
+		if hit {
+			rep.GetHits++
+			continue
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			return rep, fmt.Errorf("loadgen: GET %s: unexpected status %d", key, resp.StatusCode)
+		}
+		rep.GetMisses++
+
+		block := a.Addr >> 6
+		valBuf = FillValue(block, valBuf)
+		t0 = time.Now()
+		req, err = http.NewRequest(http.MethodPut, url, bytes.NewReader(valBuf))
+		if err != nil {
+			return rep, err
+		}
+		req.Header.Set("X-PC", pcHex)
+		resp, err = client.Do(req)
+		if err != nil {
+			return rep, fmt.Errorf("loadgen: PUT %s: %w", key, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		lats = append(lats, float64(time.Since(t0).Microseconds()))
+		rep.Requests++
+		rep.Puts++
+		switch resp.StatusCode {
+		case http.StatusCreated, http.StatusNoContent:
+		case http.StatusAccepted:
+			rep.Bypasses++
+		default:
+			return rep, fmt.Errorf("loadgen: PUT %s: unexpected status %d", key, resp.StatusCode)
+		}
+	}
+	rep.WallSec = time.Since(start).Seconds()
+	if rep.WallSec > 0 {
+		rep.QPS = float64(rep.Requests) / rep.WallSec
+	}
+	if rep.Gets > 0 {
+		rep.HitRatePct = 100 * float64(rep.GetHits) / float64(rep.Gets)
+	}
+	rep.MeanMicros = mean(lats)
+	sort.Float64s(lats)
+	rep.P50Micros = percentile(lats, 50)
+	rep.P99Micros = percentile(lats, 99)
+	return rep, nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted xs, 0 on
+// empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

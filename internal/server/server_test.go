@@ -1,0 +1,358 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/refmodel"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// newTestServer builds a server with sane test defaults, failing the test
+// on config errors.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Policy == "" {
+		cfg.Policy = "lru"
+	}
+	if cfg.Sets == 0 {
+		cfg.Sets = 64
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = 4
+	}
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 1 << 30 // large: conflict evictions only
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestHTTPCRUD exercises the HTTP facade end to end: PUT stores, GET hits
+// with the stored bytes and the X-Cache header, overwrite updates, DELETE
+// removes, and /stats + /healthz respond.
+func TestHTTPCRUD(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	do := func(method, key string, body []byte) *http.Response {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+"/kv/"+key, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Miss before anything is stored.
+	resp := do(http.MethodGet, "alpha", nil)
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("cold GET: status=%d X-Cache=%q, want 404/MISS", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp.Body.Close()
+
+	// Store, then read back.
+	if resp = do(http.MethodPut, "alpha", []byte("value-1")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: status=%d, want 201", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = do(http.MethodGet, "alpha", nil)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "HIT" || string(got) != "value-1" {
+		t.Fatalf("GET after PUT: status=%d X-Cache=%q body=%q", resp.StatusCode, resp.Header.Get("X-Cache"), got)
+	}
+
+	// Overwrite is the hit path (204) and swaps the value.
+	if resp = do(http.MethodPut, "alpha", []byte("value-2")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("overwrite PUT: status=%d, want 204", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = do(http.MethodGet, "alpha", nil)
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(got) != "value-2" {
+		t.Fatalf("GET after overwrite: body=%q, want value-2", got)
+	}
+
+	// DELETE removes; a second DELETE and a GET both report absence.
+	if resp = do(http.MethodDelete, "alpha", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: status=%d, want 204", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if resp = do(http.MethodDelete, "alpha", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE: status=%d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if resp = do(http.MethodGet, "alpha", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE: status=%d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Empty key and bad X-PC are client errors.
+	if resp = do(http.MethodGet, "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty key: status=%d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/kv/x", nil)
+	req.Header.Set("X-PC", "not-hex")
+	if resp, err := client.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad X-PC: status=%d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// /stats reflects the traffic; /healthz responds.
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{`"policy": "lru"`, `"gets"`, `"fills"`} {
+		if !strings.Contains(string(stats), want) {
+			t.Errorf("/stats missing %s:\n%s", want, stats)
+		}
+	}
+	resp, err = client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: status=%d", resp.StatusCode)
+	}
+}
+
+// TestLRUEvictionOrderMatchesReference replays a key stream over HTTP
+// against a single-shard lru server and, in lock step, against
+// refmodel.LRU on the identical synthetic geometry. Every access must
+// agree on hit/miss, and the servers' eviction sequence (observed through
+// EvictObserver) must equal the reference's, key for key.
+func TestLRUEvictionOrderMatchesReference(t *testing.T) {
+	const (
+		sets = 4
+		ways = 2
+		keys = 48
+		accN = 600
+	)
+	var evictions []string
+	srv := newTestServer(t, Config{
+		Policy: "lru", Shards: 1, Sets: sets, Ways: ways,
+		MemoryBytes:   1 << 30,
+		EvictObserver: func(key string, _ int64) { evictions = append(evictions, key) },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	ref := refmodel.NewLRU()
+	ref.Reset(cache.Config{Sets: sets, Ways: ways, LineSize: lineSize})
+	// Shadow residency: which key occupies each reference (set, way).
+	shadow := make([][]string, sets)
+	occupied := make([][]bool, sets)
+	for i := range shadow {
+		shadow[i] = make([]string, ways)
+		occupied[i] = make([]bool, ways)
+	}
+	var refEvictions []string
+	refHits := 0
+
+	rng := xrand.New(0xcafe)
+	for i := 0; i < accN; i++ {
+		key := fmt.Sprintf("obj-%d", rng.Intn(keys))
+		_, block := srv.route(key) // shards=1: the masked hash is the block
+		set := int(block % sets)
+
+		// Server side, over real HTTP: GET, then PUT on miss.
+		resp, err := client.Get(ts.URL + "/kv/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		srvHit := resp.StatusCode == http.StatusOK
+		if !srvHit {
+			req, _ := http.NewRequest(http.MethodPut, ts.URL+"/kv/"+key, strings.NewReader("v:"+key))
+			resp, err = client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("access %d: PUT %s status=%d", i, key, resp.StatusCode)
+			}
+		}
+
+		// Reference side: one Access per logical key touch.
+		step := ref.Access(trace.Access{Addr: block * lineSize})
+		if step.Hit != srvHit {
+			t.Fatalf("access %d (%s): server hit=%v, reference hit=%v", i, key, srvHit, step.Hit)
+		}
+		if step.Hit {
+			refHits++
+		} else {
+			if occupied[set][step.Way] {
+				refEvictions = append(refEvictions, shadow[set][step.Way])
+			}
+			shadow[set][step.Way] = key
+			occupied[set][step.Way] = true
+		}
+	}
+
+	sn := srv.Snapshot()
+	if int(sn.Totals.GetHits) != refHits {
+		t.Errorf("server hits=%d, reference hits=%d", sn.Totals.GetHits, refHits)
+	}
+	if int(sn.Totals.Evictions) != len(refEvictions) {
+		t.Errorf("server evictions=%d, reference evictions=%d", sn.Totals.Evictions, len(refEvictions))
+	}
+	if len(evictions) != len(refEvictions) {
+		t.Fatalf("observed %d evictions, reference has %d", len(evictions), len(refEvictions))
+	}
+	for i := range evictions {
+		if evictions[i] != refEvictions[i] {
+			t.Fatalf("eviction %d: server evicted %q, reference evicted %q", i, evictions[i], refEvictions[i])
+		}
+	}
+	if len(refEvictions) == 0 {
+		t.Fatal("degenerate test: no evictions occurred")
+	}
+}
+
+// TestAdmissionBypass pins the size-admission hook: an object above
+// MaxObjectBytes is not cached, the PUT reports 202, and the bypass is
+// counted.
+func TestAdmissionBypass(t *testing.T) {
+	srv := newTestServer(t, Config{
+		Policy: "lru", Shards: 1, Sets: 16, Ways: 4,
+		MemoryBytes: 1 << 20, MaxObjectBytes: 1024,
+	})
+	if out := srv.Put("big", 0, make([]byte, 2048)); out != PutBypassed {
+		t.Fatalf("oversized Put = %v, want PutBypassed", out)
+	}
+	if _, hit := srv.Get("big", 0); hit {
+		t.Fatal("bypassed object must not be resident")
+	}
+	if sn := srv.Snapshot(); sn.Totals.AdmitBypasses != 1 || sn.Totals.Fills != 0 {
+		t.Fatalf("snapshot = %+v, want 1 admit bypass, 0 fills", sn.Totals)
+	}
+	// At the bound, the object is admitted.
+	if out := srv.Put("fits", 0, make([]byte, 1024)); out != PutStored {
+		t.Fatalf("bound-sized Put = %v, want PutStored", out)
+	}
+}
+
+// TestBudgetEviction pins the byte budget: resident bytes never exceed the
+// configured budget, and reclaiming is attributed to budget evictions.
+func TestBudgetEviction(t *testing.T) {
+	const budget = 64 << 10
+	srv := newTestServer(t, Config{
+		Policy: "lru", Shards: 1, Sets: 16, Ways: 4,
+		MemoryBytes: budget, MaxObjectBytes: 8 << 10,
+	})
+	val := make([]byte, 4<<10)
+	for i := 0; i < 64; i++ {
+		for j := range val {
+			val[j] = byte(i + j) // distinct contents: no dedup relief
+		}
+		srv.Put(fmt.Sprintf("obj-%d", i), 0, val)
+		if sn := srv.Snapshot(); sn.Totals.Bytes > budget {
+			t.Fatalf("after put %d: resident bytes %d exceed budget %d", i, sn.Totals.Bytes, budget)
+		}
+	}
+	sn := srv.Snapshot()
+	if sn.Totals.BudgetEvictions == 0 {
+		t.Fatal("64 x 4KiB puts into a 64KiB budget must trigger budget evictions")
+	}
+	if sn.Totals.Bytes != sn.UniqueBytes {
+		t.Fatalf("entry bytes %d != store bytes %d (refcount leak?)", sn.Totals.Bytes, sn.UniqueBytes)
+	}
+}
+
+// TestContentAddressedDedup: equal values under different keys share one
+// blob, and the blob survives until its last referencing key is gone.
+func TestContentAddressedDedup(t *testing.T) {
+	srv := newTestServer(t, Config{Policy: "lru"})
+	payload := []byte("shared-payload-bytes")
+	srv.Put("k1", 0, payload)
+	srv.Put("k2", 0, payload)
+	srv.Put("k3", 0, []byte("different"))
+	if sn := srv.Snapshot(); sn.UniqueBlobs != 2 {
+		t.Fatalf("unique blobs = %d, want 2 (k1/k2 deduplicated)", sn.UniqueBlobs)
+	}
+	if sn := srv.Snapshot(); sn.UniqueBytes != int64(len(payload)+len("different")) {
+		t.Fatalf("unique bytes = %d", sn.UniqueBytes)
+	}
+	srv.Delete("k1")
+	if v, hit := srv.Get("k2", 0); !hit || string(v) != string(payload) {
+		t.Fatal("k2 must survive k1's deletion with the shared payload intact")
+	}
+	srv.Delete("k2")
+	if sn := srv.Snapshot(); sn.UniqueBlobs != 1 {
+		t.Fatalf("unique blobs after deleting both sharers = %d, want 1", sn.UniqueBlobs)
+	}
+}
+
+// TestStoreRefcounting unit-tests the content store directly.
+func TestStoreRefcounting(t *testing.T) {
+	st := NewStore()
+	r1 := st.Put([]byte("abc"))
+	r2 := st.Put([]byte("abc"))
+	if r1 != r2 {
+		t.Fatal("equal content must yield equal refs")
+	}
+	if st.Blobs() != 1 || st.UniqueBytes() != 3 {
+		t.Fatalf("blobs=%d bytes=%d, want 1/3", st.Blobs(), st.UniqueBytes())
+	}
+	st.Release(r1)
+	if got := st.Get(r1); string(got) != "abc" {
+		t.Fatal("blob must survive while one ref remains")
+	}
+	st.Release(r1)
+	if st.Get(r1) != nil || st.Blobs() != 0 || st.UniqueBytes() != 0 {
+		t.Fatal("blob must be freed with its last ref")
+	}
+	st.Release(r1) // releasing an absent ref is a no-op
+}
+
+// TestHashCollisionRecovery pins the alias path: if two distinct keys ever
+// land on one 64-bit hash, the resident alias is dropped and the access
+// proceeds as a miss instead of serving the wrong object.
+func TestHashCollisionRecovery(t *testing.T) {
+	srv := newTestServer(t, Config{Policy: "lru", Shards: 1})
+	srv.Put("victim", 0, []byte("payload"))
+	sh, block := srv.route("victim")
+	sh.mu.Lock()
+	sh.entries[block].key = "imposter" // forge an alias of the same hash
+	sh.mu.Unlock()
+	if _, hit := srv.Get("victim", 0); hit {
+		t.Fatal("aliased entry must not serve a different key's value")
+	}
+	if sn := srv.Snapshot(); sn.Totals.Collisions != 1 || sn.Totals.Entries != 0 {
+		t.Fatalf("snapshot = %+v, want 1 collision and the alias dropped", sn.Totals)
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// Ref identifies a value in the content-addressed store: the SHA-256 of
+// its bytes. Two keys holding equal values share one stored blob.
+type Ref [sha256.Size]byte
+
+// zeroRef is the Ref of no value (entries never hold it: even the empty
+// value hashes to a non-zero digest).
+var zeroRef Ref
+
+// Store is the content-addressed value store behind the tag shards. Values
+// are stored once per distinct content and reference-counted, so PUTting
+// the same payload under a thousand keys costs one copy — the
+// deduplication half of "content-addressed". The store is its own lock
+// domain: tag shards call it while holding their shard lock, and the
+// store's single mutex only guards map operations (the hashing happens
+// outside it).
+type Store struct {
+	mu    sync.Mutex
+	blobs map[Ref]*blob
+	bytes int64 // unique bytes resident (deduplicated)
+}
+
+type blob struct {
+	data []byte
+	refs int64
+}
+
+// NewStore returns an empty content store.
+func NewStore() *Store {
+	return &Store{blobs: map[Ref]*blob{}}
+}
+
+// Put stores val (copying it) and returns its Ref with one reference
+// acquired. If the content is already resident the copy is skipped and the
+// existing blob's refcount grows.
+func (s *Store) Put(val []byte) Ref {
+	ref := Ref(sha256.Sum256(val))
+	s.mu.Lock()
+	if b, ok := s.blobs[ref]; ok {
+		b.refs++
+		s.mu.Unlock()
+		return ref
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.blobs[ref] = &blob{data: cp, refs: 1}
+	s.bytes += int64(len(cp))
+	s.mu.Unlock()
+	return ref
+}
+
+// Get returns the bytes for ref, or nil if the ref is not resident. The
+// returned slice is shared and must be treated as immutable.
+func (s *Store) Get(ref Ref) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.blobs[ref]; ok {
+		return b.data
+	}
+	return nil
+}
+
+// Release drops one reference to ref, freeing the blob when the last
+// holder lets go. Releasing an absent ref is a no-op.
+func (s *Store) Release(ref Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[ref]
+	if !ok {
+		return
+	}
+	b.refs--
+	if b.refs <= 0 {
+		s.bytes -= int64(len(b.data))
+		delete(s.blobs, ref)
+	}
+}
+
+// Blobs reports the number of distinct values resident.
+func (s *Store) Blobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}
+
+// UniqueBytes reports the deduplicated resident payload bytes.
+func (s *Store) UniqueBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}

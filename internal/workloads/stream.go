@@ -8,22 +8,38 @@ package workloads
 
 import (
 	"bufio"
+	"fmt"
 	"os"
 
 	"repro/internal/trace"
 )
 
+// maxConsecutiveNonMem bounds how many trace.MemNone records
+// StreamLLCAccesses skips in a row before concluding the generator will
+// never produce a memory access. A degenerate spec (MemRatio 0, or phases
+// whose patterns emit no loads/stores) would otherwise spin forever; any
+// realistic spec produces a memory record well within this window.
+const maxConsecutiveNonMem = 1 << 20
+
 // StreamLLCAccesses derives the spec's LLC access stream (see LLCAccesses
 // for the derivation rules) and hands each of the n records to emit in
 // order, without buffering the trace. It stops early if emit returns an
-// error, propagating it.
+// error, propagating it. A spec that stops producing memory accesses
+// (maxConsecutiveNonMem non-memory records in a row) yields an error
+// instead of spinning.
 func StreamLLCAccesses(spec Spec, n int, emit func(trace.Access) error) error {
 	g := New(spec)
+	dry := 0
 	for i := 0; i < n; {
 		in := g.Next()
 		if in.Kind == trace.MemNone {
+			if dry++; dry >= maxConsecutiveNonMem {
+				return fmt.Errorf("workloads: spec %q produced %d consecutive non-memory records (degenerate spec?) after %d of %d accesses",
+					spec.Name, dry, i, n)
+			}
 			continue
 		}
+		dry = 0
 		ty := trace.Load
 		if in.Kind == trace.MemStore {
 			ty = trace.RFO

@@ -2,7 +2,9 @@ package workloads
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -30,6 +32,34 @@ func TestStreamLLCAccessesMatchesSlice(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("access %d: %+v vs %+v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestStreamLLCAccessesDegenerateSpec is the regression test for the
+// infinite spin on specs that never emit a memory access: MemRatio 0 makes
+// every generated record trace.MemNone, and StreamLLCAccesses used to loop
+// forever waiting for access i=0. It must instead return an error once the
+// consecutive non-memory bound trips.
+func TestStreamLLCAccessesDegenerateSpec(t *testing.T) {
+	spec := Spec{
+		Name:     "degenerate-no-mem",
+		MemRatio: 0,
+		Phases:   []Phase{{Instructions: 100, Pattern: PatternUniform, FootprintKB: 64}},
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- StreamLLCAccesses(spec, 10, func(trace.Access) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("degenerate spec must return an error, got nil")
+		}
+		if !strings.Contains(err.Error(), spec.Name) {
+			t.Errorf("error should name the spec, got: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("StreamLLCAccesses is spinning on a degenerate spec")
 	}
 }
 
