@@ -9,6 +9,7 @@
 //	cacheload -trace mcf.llct -policies lru       # replay a chunked trace file
 //	cacheload -addr http://127.0.0.1:8940 -n 5000 # drive a live server
 //	cacheload -qps 20000                          # throttle the replay rate
+//	cacheload -window 10s -topk 8 -span-trace jsonl:spans.jsonl@100 -policies lru
 //
 // Without -addr, cacheload boots one in-process server per policy on an
 // ephemeral loopback port, replays the same trace against each, and folds
@@ -66,6 +67,9 @@ func main() {
 		sets     = flag.Int("sets", 1024, "in-process servers: total synthetic sets")
 		ways     = flag.Int("ways", 16, "in-process servers: ways per set")
 		memMB    = flag.Int64("mem-mb", 16, "in-process servers: byte budget in MiB")
+		window   = flag.Duration("window", 0, "in-process servers: sliding-window metrics span (0 = off)")
+		topK     = flag.Int("topk", 0, "in-process servers: heavy-hitter keys per shard (0 = off)")
+		spanSpec = flag.String("span-trace", "", "in-process servers: sample request spans into this sink (jsonl:PATH[@N], ring:N[@M], discard[@N])")
 		out      = flag.String("o", "BENCH_server.json", "output file ('-' for stdout)")
 	)
 	flag.Parse()
@@ -105,12 +109,14 @@ func main() {
 			if pol == "" {
 				continue
 			}
-			res, err := replayInProcess(pol, accs, *qps, *shards, *sets, *ways, *memMB)
+			res, err := replayInProcess(pol, accs, *qps, *shards, *sets, *ways, *memMB,
+				*window, *topK, *spanSpec)
 			if err != nil {
 				fail(fmt.Errorf("policy %s: %w", pol, err))
 			}
-			fmt.Printf("cacheload: %-8s hit_rate=%6.2f%% qps=%9.0f p50=%.0fus p99=%.0fus evictions=%d\n",
+			fmt.Printf("cacheload: %-8s hit_rate=%6.2f%% qps=%9.0f p50=%.0fus p99=%.0fus p999=%.0fus max=%.0fus evictions=%d\n",
 				pol, res.HitRatePct, res.QPS, res.P50Micros, res.P99Micros,
+				res.P999Micros, res.MaxMicros,
 				res.Server.Totals.Evictions+res.Server.Totals.BudgetEvictions)
 			rep.Results = append(rep.Results, res)
 		}
@@ -162,14 +168,29 @@ func loadAccesses(traceF, workload string, n int) ([]trace.Access, string, error
 
 // replayInProcess boots a server with the given policy on an ephemeral
 // loopback port, replays the trace over real TCP, and folds the client
-// report with the server's counters.
-func replayInProcess(pol string, accs []trace.Access, qps float64, shards, sets, ways int, memMB int64) (result, error) {
+// report with the server's counters. The telemetry knobs mirror rlcached's
+// -window/-topk/-span-trace; the span sink is opened fresh per policy, so
+// a jsonl: path holds the last policy's spans — use one -policies entry
+// (or a ring sink) when span output matters.
+func replayInProcess(pol string, accs []trace.Access, qps float64, shards, sets, ways int, memMB int64,
+	window time.Duration, topK int, spanSpec string) (result, error) {
+	tel := server.TelemetryConfig{Window: window, TopK: topK}
+	if spanSpec != "" {
+		sink, ring, sample, err := obs.OpenSpanSink(spanSpec)
+		if err != nil {
+			return result{}, err
+		}
+		tel.Spans = obs.NewSpanTracer(sink, sample)
+		tel.SpanRing = ring
+		defer tel.Spans.Close()
+	}
 	srv, err := server.New(server.Config{
 		Policy:      pol,
 		Shards:      shards,
 		Sets:        sets,
 		Ways:        ways,
 		MemoryBytes: memMB << 20,
+		Telemetry:   tel,
 	})
 	if err != nil {
 		return result{}, err

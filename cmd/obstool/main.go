@@ -1,6 +1,6 @@
-// Command obstool inspects the JSONL artifacts the observability layer
-// emits: run manifests (rltrain -manifest) and cache-event traces
-// (-trace / -obs-trace jsonl sinks).
+// Command obstool inspects the observability layer's artifacts and live
+// endpoints: run manifests (rltrain -manifest), cache-event traces
+// (-trace / -obs-trace jsonl sinks), and a running rlcached's telemetry.
 //
 // Usage:
 //
@@ -8,12 +8,16 @@
 //	obstool validate -events ev.jsonl   # same for a cache-event trace
 //	obstool curve run.jsonl             # ASCII training loss curve per epoch
 //	obstool curve -metric hit_rate run.jsonl
+//	obstool top -addr http://127.0.0.1:8940          # live server dashboard
+//	obstool top -addr http://127.0.0.1:8940 -once    # one frame (scripts/CI)
 //
 // validate exits non-zero on a malformed or empty file — the `make
 // obs-smoke` CI gate. curve renders the per-epoch trajectory of one
 // manifest metric (loss, mean_reward, hit_rate, weight_norm) as a bar
 // chart, the quick look at "is training converging" that otherwise needs a
-// plotting stack.
+// plotting stack. top polls /stats, /window, and /topkeys and redraws a
+// terminal dashboard every -interval: rolling hit rate, QPS, eviction
+// rate, latency quantiles per shard, and the heavy-hitter keys.
 package main
 
 import (
@@ -38,6 +42,8 @@ func main() {
 		err = validate(args)
 	case "curve":
 		err = curve(args)
+	case "top":
+		err = top(args)
 	default:
 		usage()
 	}
@@ -48,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: obstool validate [-events] FILE.jsonl | obstool curve [-metric M] FILE.jsonl")
+	fmt.Fprintln(os.Stderr, "usage: obstool validate [-events] FILE.jsonl | obstool curve [-metric M] FILE.jsonl | obstool top [-addr URL] [-once]")
 	os.Exit(2)
 }
 

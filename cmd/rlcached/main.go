@@ -9,10 +9,16 @@
 //	rlcached -policy drrip -shards 4 -mem-mb 512
 //	rlcached -addr 127.0.0.1:0 -addr-file a   # ephemeral port for scripts
 //	rlcached -obs-addr 127.0.0.1:9100         # separate obs endpoint
+//	rlcached -span-trace ring:4096@100        # sample request spans to /spans
 //
 // The server mounts /kv/<key> (GET/PUT/DELETE), /stats (JSON), /metrics
-// (obs registry), and /healthz on -addr; -obs-addr additionally serves the
-// standard obs endpoint (metrics, expvar, pprof).
+// (obs registry; ?format=prometheus for the exposition format), /window
+// (sliding-window metrics), /topkeys (heavy-hitter keys), /spans (recent
+// sampled spans, ring sinks only), and /healthz on -addr; -obs-addr
+// additionally serves the standard obs endpoint (metrics, expvar, pprof).
+// Windowed metrics and heavy-hitter sketches are on by default (-window,
+// -topk); span tracing is opt-in (-span-trace). `obstool top -addr URL`
+// renders the live view.
 package main
 
 import (
@@ -43,6 +49,11 @@ func main() {
 		memMB     = flag.Int64("mem-mb", 256, "total byte budget in MiB, split across shards")
 		maxObject = flag.Int64("max-object", 0, "admission bound in bytes; larger PUTs bypass (0 = budget/shards/4)")
 		obsAddr   = flag.String("obs-addr", "", "also serve the obs endpoint (metrics/expvar/pprof) on this address")
+
+		window    = flag.Duration("window", time.Minute, "sliding-window metrics span for /window (0 disables)")
+		winBucket = flag.Duration("window-bucket", time.Second, "sliding-window bucket duration")
+		topK      = flag.Int("topk", 16, "heavy-hitter keys tracked per shard for /topkeys (0 disables)")
+		spanSpec  = flag.String("span-trace", "", "sample request spans into this sink: jsonl:PATH[@N], ring:N[@M], or discard[@N] (ring spans are served at /spans)")
 	)
 	flag.Parse()
 
@@ -57,6 +68,22 @@ func main() {
 	}
 	obs.Enable() // the server is long-lived; metrics are the point
 
+	tel := server.TelemetryConfig{
+		Window:       *window,
+		WindowBucket: *winBucket,
+		TopK:         *topK,
+	}
+	if *spanSpec != "" {
+		sink, ring, sample, err := obs.OpenSpanSink(*spanSpec)
+		if err != nil {
+			fail(err)
+		}
+		tel.Spans = obs.NewSpanTracer(sink, sample)
+		tel.SpanRing = ring
+		defer tel.Spans.Close()
+		fmt.Printf("rlcached: span tracing to %s (1 in %d requests)\n", *spanSpec, sample)
+	}
+
 	srv, err := server.New(server.Config{
 		Policy:         *polName,
 		Shards:         *shards,
@@ -64,6 +91,7 @@ func main() {
 		Ways:           *ways,
 		MemoryBytes:    *memMB << 20,
 		MaxObjectBytes: *maxObject,
+		Telemetry:      tel,
 	})
 	if err != nil {
 		fail(err)

@@ -50,10 +50,7 @@ func Serve(addr string, ring *RingSink) (bound string, shutdown func(), err erro
 			fmt.Fprintln(w, "  /events       recent cache events (JSONL)")
 		}
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		Default().WriteText(w)
-	})
+	mux.HandleFunc("/metrics", WriteMetricsHTTP)
 	mux.Handle("/debug/vars", expvar.Handler())
 	profiling.AttachPprof(mux)
 	if ring != nil {
@@ -69,6 +66,20 @@ func Serve(addr string, ring *RingSink) (bound string, shutdown func(), err erro
 	}
 
 	return serveOn(addr, mux)
+}
+
+// WriteMetricsHTTP serves the default registry: the sorted "name value"
+// text dump by default, or the Prometheus text exposition format when the
+// request carries ?format=prometheus. Shared by the obs endpoint and the
+// cache server's /metrics.
+func WriteMetricsHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		Default().WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	Default().WriteText(w)
 }
 
 // serveOn binds addr and serves mux in the background. The returned

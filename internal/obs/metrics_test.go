@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -130,6 +131,89 @@ func TestWriteText(t *testing.T) {
 		if lines[i] != want[i] {
 			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
 		}
+	}
+}
+
+// TestHistogramTextRoundTrip pins that the text dump is self-describing:
+// every _bucket line carries the bucket's inclusive upper VALUE bound (not
+// a bucket index), so parsing the dump back reconstructs exactly the
+// (bound, count) pairs Buckets() reports — and re-observing each bound
+// reproduces an identical dump, closing the round trip.
+func TestHistogramTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	obs := []uint64{0, 1, 5, 5, 100, 1 << 30, ^uint64(0)}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse the dump back into (upper bound, count) pairs.
+	parsed := map[uint64]uint64{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || !strings.HasPrefix(name, `lat_bucket{le="`) {
+			continue
+		}
+		boundStr := strings.TrimSuffix(strings.TrimPrefix(name, `lat_bucket{le="`), `"}`)
+		bound, err := strconv.ParseUint(boundStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket bound %q is not a value bound: %v", boundStr, err)
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed[bound] = n
+	}
+	want := map[uint64]uint64{}
+	for _, b := range h.Buckets() {
+		want[b.UpperBound] = b.Count
+	}
+	if len(parsed) != len(want) {
+		t.Fatalf("parsed %d buckets, want %d (%v vs %v)", len(parsed), len(want), parsed, want)
+	}
+	for bound, n := range want {
+		if parsed[bound] != n {
+			t.Errorf("bucket le=%d: parsed %d, want %d", bound, parsed[bound], n)
+		}
+		// The bound must actually be a landing value of its own bucket:
+		// observing it again must increment exactly this bucket.
+		h2 := &Histogram{}
+		h2.Observe(bound)
+		if bs := h2.Buckets(); len(bs) != 1 || bs[0].UpperBound != bound {
+			t.Errorf("bound %d does not describe its own bucket: %+v", bound, bs)
+		}
+	}
+
+	// Full round trip: a fresh histogram rebuilt from the parsed pairs
+	// (observing each bound count-many times) dumps identical bucket lines.
+	r2 := NewRegistry()
+	h2 := r2.Histogram("lat")
+	for bound, n := range parsed {
+		for i := uint64(0); i < n; i++ {
+			h2.Observe(bound)
+		}
+	}
+	lineOf := func(s string) []string {
+		var out []string
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "lat_bucket{") {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	var buf2 bytes.Buffer
+	if err := r2.WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	a, b := lineOf(buf.String()), lineOf(buf2.String())
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("rebuilt dump diverges:\n%v\nvs\n%v", a, b)
 	}
 }
 

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PrometheusContentType is the content type of the text exposition format
+// WritePrometheus emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// helpMu guards the package-level HELP registry. Help strings are keyed by
+// metric family (the name without labels) and shared by every registry —
+// the metric names themselves are process-global too.
+var (
+	helpMu   sync.Mutex
+	helpText = map[string]string{}
+)
+
+// RegisterHelp attaches a Prometheus HELP string to a metric family (the
+// metric name without any {labels}). Families without registered help get
+// a generic line; registering twice overwrites.
+func RegisterHelp(family, help string) {
+	helpMu.Lock()
+	helpText[family] = help
+	helpMu.Unlock()
+}
+
+func helpFor(family string) string {
+	helpMu.Lock()
+	h := helpText[family]
+	helpMu.Unlock()
+	if h == "" {
+		return family + " (see internal/obs)"
+	}
+	return h
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// splitSeries splits a registry metric name into its family and label
+// body: `name{a="b"}` -> (`name`, `a="b"`); a bare name has an empty body.
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels renders a label body plus one extra label as `{...}`.
+func joinLabels(body, extra string) string {
+	switch {
+	case body == "" && extra == "":
+		return ""
+	case body == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + body + "}"
+	default:
+		return "{" + body + "," + extra + "}"
+	}
+}
+
+// promSeries is one sample line still split into its parts.
+type promSeries struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// promFamily groups the series of one metric name under one TYPE line.
+type promFamily struct {
+	name   string
+	typ    string // counter | gauge | histogram
+	series []promSeries
+}
+
+// families snapshots the registry grouped by metric family, sorted by name
+// with series sorted inside each family.
+func (r *Registry) families() []promFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	byName := map[string]*promFamily{}
+	add := func(name, typ string, s promSeries) {
+		fam, labels := splitSeries(name)
+		s.labels = labels
+		f := byName[fam]
+		if f == nil {
+			f = &promFamily{name: fam, typ: typ}
+			byName[fam] = f
+		}
+		f.series = append(f.series, s)
+	}
+	for n, c := range r.counters {
+		add(n, "counter", promSeries{c: c})
+	}
+	for n, g := range r.gauges {
+		add(n, "gauge", promSeries{g: g})
+	}
+	for n, h := range r.hists {
+		add(n, "histogram", promSeries{h: h})
+	}
+	r.mu.Unlock()
+
+	out := make([]promFamily, 0, len(byName))
+	for _, f := range byName {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# HELP` and `# TYPE` line per metric
+// family, counter/gauge samples as integers, and histograms expanded into
+// *cumulative* `_bucket{le="..."}` samples with self-describing upper
+// bounds (the power-of-two scheme documented on Histogram), a `+Inf`
+// bucket, `_sum`, and `_count`. Every value is an integer, so the dump can
+// never contain NaN or Inf. Serve it with PrometheusContentType.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.families() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(helpFor(f.name)), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch {
+			case s.c != nil:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, joinLabels(s.labels, ""), s.c.Value())
+			case s.g != nil:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, joinLabels(s.labels, ""), s.g.Value())
+			case s.h != nil:
+				err = writePromHistogram(w, f.name, s.labels, s.h)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	var cum uint64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		le := fmt.Sprintf(`le="%d"`, b.UpperBound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLabels(labels, le), cum); err != nil {
+			return err
+		}
+	}
+	count := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLabels(labels, `le="+Inf"`), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, joinLabels(labels, ""), h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, joinLabels(labels, ""), count)
+	return err
+}

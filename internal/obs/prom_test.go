@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusShape checks the exposition format: HELP/TYPE per
+// family, labeled series under one family, cumulative histogram buckets
+// with a +Inf terminator, and integer-only values (no NaN possible).
+func TestWritePrometheusShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv_gets").Add(7)
+	r.Counter(`srv_evictions{policy="lru"}`).Add(3)
+	r.Counter(`srv_evictions{policy="drrip"}`).Add(4)
+	r.Gauge("srv_bytes").Set(1024)
+	h := r.Histogram("srv_latency_ns")
+	h.Observe(5)   // bucket le=7
+	h.Observe(100) // bucket le=127
+	h.Observe(100)
+	RegisterHelp("srv_gets", "total GET requests")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	wants := []string{
+		"# HELP srv_gets total GET requests",
+		"# TYPE srv_gets counter",
+		"srv_gets 7",
+		"# TYPE srv_evictions counter",
+		`srv_evictions{policy="drrip"} 4`,
+		`srv_evictions{policy="lru"} 3`,
+		"# TYPE srv_bytes gauge",
+		"srv_bytes 1024",
+		"# TYPE srv_latency_ns histogram",
+		`srv_latency_ns_bucket{le="7"} 1`,
+		`srv_latency_ns_bucket{le="127"} 3`,
+		`srv_latency_ns_bucket{le="+Inf"} 3`,
+		"srv_latency_ns_sum 205",
+		"srv_latency_ns_count 3",
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("missing line %q in:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf ") {
+		t.Error("non-finite value in exposition")
+	}
+	// Every family gets exactly one TYPE line, HELP precedes TYPE.
+	if strings.Count(out, "# TYPE srv_evictions ") != 1 {
+		t.Error("labeled series must share one TYPE line")
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	lastHelp := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# HELP ") {
+			lastHelp = strings.Fields(line)[2]
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			if fam := strings.Fields(line)[2]; fam != lastHelp {
+				t.Errorf("TYPE %s not preceded by its HELP", fam)
+			}
+		}
+	}
+}
+
+// TestPromHistogramCumulative pins that bucket samples are monotonically
+// nondecreasing in le order and end at the total count.
+func TestPromHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for v := uint64(1); v < 1000; v *= 3 {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	var inf uint64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "lat_bucket{") {
+			continue
+		}
+		val, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if val < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = val
+		if strings.Contains(line, `le="+Inf"`) {
+			inf = val
+		}
+	}
+	if inf != h.Count() {
+		t.Errorf("+Inf bucket %d != count %d", inf, h.Count())
+	}
+}

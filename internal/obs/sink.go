@@ -155,45 +155,82 @@ func (h *sinkHook) OnCacheEvent(e *CacheEvent) {
 	}
 }
 
-// OpenSink builds a sink from a -trace flag spec:
+// sinkKind is the parsed family of a sink spec.
+type sinkKind uint8
+
+const (
+	sinkJSONL sinkKind = iota
+	sinkRing
+	sinkDiscard
+)
+
+// sinkSpec is the parsed form of a -trace / -span-trace flag value.
+type sinkSpec struct {
+	kind   sinkKind
+	path   string // sinkJSONL
+	ringN  int    // sinkRing
+	sample int
+}
+
+// parseSinkSpec parses the shared sink grammar:
 //
-//	jsonl:PATH   every event as one JSON line appended to PATH
-//	ring:N       in-memory ring of the last N events (served at /events)
+//	jsonl:PATH   one JSON line per record appended to PATH
+//	ring:N       in-memory ring of the last N records
 //	discard      parse-and-drop (overhead measurement)
 //	PATH         shorthand for jsonl:PATH
 //
-// A "@N" suffix on any spec samples one event in N, e.g. "jsonl:t.jsonl@100".
-// The returned sample factor is what NewSinkHook should be given.
-func OpenSink(spec string) (Sink, int, error) {
-	sample := 1
+// A "@N" suffix on any spec samples one record in N, e.g.
+// "jsonl:t.jsonl@100". Cache-event traces (OpenSink) and request spans
+// (OpenSpanSink) speak the same grammar.
+func parseSinkSpec(spec string) (sinkSpec, error) {
+	out := sinkSpec{sample: 1}
 	if at := strings.LastIndex(spec, "@"); at >= 0 {
 		n, err := strconv.Atoi(spec[at+1:])
 		if err != nil || n < 1 {
-			return nil, 0, fmt.Errorf("obs: bad sample factor in trace spec %q", spec)
+			return out, fmt.Errorf("obs: bad sample factor in trace spec %q", spec)
 		}
-		sample, spec = n, spec[:at]
+		out.sample, spec = n, spec[:at]
 	}
 	switch {
 	case spec == "discard":
-		return DiscardSink{}, sample, nil
+		out.kind = sinkDiscard
 	case strings.HasPrefix(spec, "ring:"):
 		n, err := strconv.Atoi(spec[len("ring:"):])
 		if err != nil || n < 1 {
-			return nil, 0, fmt.Errorf("obs: bad ring size in trace spec %q", spec)
+			return out, fmt.Errorf("obs: bad ring size in trace spec %q", spec)
 		}
-		return NewRingSink(n), sample, nil
+		out.kind, out.ringN = sinkRing, n
 	case strings.HasPrefix(spec, "jsonl:"):
 		spec = spec[len("jsonl:"):]
 		fallthrough
 	default:
 		if spec == "" {
-			return nil, 0, fmt.Errorf("obs: empty trace path")
+			return out, fmt.Errorf("obs: empty trace path")
 		}
-		f, err := os.Create(spec)
+		out.kind, out.path = sinkJSONL, spec
+	}
+	return out, nil
+}
+
+// OpenSink builds a cache-event sink from a -trace flag spec (see
+// parseSinkSpec for the grammar). The returned sample factor is what
+// NewSinkHook should be given.
+func OpenSink(spec string) (Sink, int, error) {
+	sp, err := parseSinkSpec(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch sp.kind {
+	case sinkDiscard:
+		return DiscardSink{}, sp.sample, nil
+	case sinkRing:
+		return NewRingSink(sp.ringN), sp.sample, nil
+	default:
+		f, err := os.Create(sp.path)
 		if err != nil {
 			return nil, 0, fmt.Errorf("obs: trace sink: %w", err)
 		}
-		return NewJSONLSink(f), sample, nil
+		return NewJSONLSink(f), sp.sample, nil
 	}
 }
 

@@ -1,0 +1,116 @@
+package obs
+
+import "sort"
+
+// TopKEntry is one heavy-hitter candidate: an estimated count and the
+// overestimation bound Space-Saving guarantees (true count is in
+// [Count-Err, Count]).
+type TopKEntry struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// TopK is a Space-Saving heavy-hitter sketch (Metwally et al.): it tracks
+// at most k keys in O(k) memory and guarantees that any key whose true
+// frequency exceeds N/k is present, with per-key error bounded by the
+// smallest tracked count. It is the live analogue of the paper's §IV
+// victim-feature mining — instead of mining a recorded trace offline, the
+// server keeps a bounded sketch of which keys drive misses and evictions
+// right now.
+//
+// TopK is deliberately unsynchronized, like the policy zoo: the server
+// updates it under the owning shard's mutex. A nil *TopK is a no-op on
+// every method, so disabled telemetry costs one nil check.
+type TopK struct {
+	k     int
+	index map[string]int // key -> slot
+	slots []TopKEntry
+}
+
+// NewTopK returns a sketch tracking at most k keys (k >= 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, index: make(map[string]int, k)}
+}
+
+// Offer records one occurrence of key.
+func (t *TopK) Offer(key string) { t.OfferN(key, 1) }
+
+// OfferN records n occurrences of key. If the sketch is full and key is
+// untracked, the minimum-count slot is recycled: key inherits min+n with
+// Err=min — the classic Space-Saving replacement that preserves the
+// overestimate-only guarantee.
+func (t *TopK) OfferN(key string, n uint64) {
+	if t == nil || n == 0 {
+		return
+	}
+	if i, ok := t.index[key]; ok {
+		t.slots[i].Count += n
+		return
+	}
+	if len(t.slots) < t.k {
+		t.index[key] = len(t.slots)
+		t.slots = append(t.slots, TopKEntry{Key: key, Count: n})
+		return
+	}
+	mi := 0
+	for i := 1; i < len(t.slots); i++ {
+		if t.slots[i].Count < t.slots[mi].Count {
+			mi = i
+		}
+	}
+	min := t.slots[mi].Count
+	delete(t.index, t.slots[mi].Key)
+	t.index[key] = mi
+	t.slots[mi] = TopKEntry{Key: key, Count: min + n, Err: min}
+}
+
+// Snapshot returns the tracked entries, highest count first (ties broken
+// by key so the order is deterministic). Nil-safe.
+func (t *TopK) Snapshot() []TopKEntry {
+	if t == nil {
+		return nil
+	}
+	out := make([]TopKEntry, len(t.slots))
+	copy(out, t.slots)
+	sortTopK(out)
+	return out
+}
+
+// MergeTopK folds several sketch snapshots (e.g. one per shard) into one
+// top-k list: counts and error bounds of shared keys add, then the k
+// largest survive. The merged Err keeps the overestimate-only property —
+// each input's Count already includes its Err slack.
+func MergeTopK(k int, snaps ...[]TopKEntry) []TopKEntry {
+	merged := map[string]TopKEntry{}
+	for _, snap := range snaps {
+		for _, e := range snap {
+			m := merged[e.Key]
+			m.Key = e.Key
+			m.Count += e.Count
+			m.Err += e.Err
+			merged[e.Key] = m
+		}
+	}
+	out := make([]TopKEntry, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e)
+	}
+	sortTopK(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func sortTopK(es []TopKEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Count != es[j].Count {
+			return es[i].Count > es[j].Count
+		}
+		return es[i].Key < es[j].Key
+	})
+}

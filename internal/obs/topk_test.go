@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestNilTopKIsNoOp pins the disabled mode.
+func TestNilTopKIsNoOp(t *testing.T) {
+	var tk *TopK
+	tk.Offer("a")
+	tk.OfferN("b", 10)
+	if tk.Snapshot() != nil {
+		t.Fatal("nil sketch must snapshot nil")
+	}
+}
+
+// TestTopKExactUnderCapacity: with fewer distinct keys than k, counts are
+// exact with zero error.
+func TestTopKExactUnderCapacity(t *testing.T) {
+	tk := NewTopK(8)
+	for i := 0; i < 3; i++ {
+		for j := 0; j <= i; j++ {
+			tk.Offer(fmt.Sprintf("k%d", i))
+		}
+	}
+	snap := tk.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len = %d, want 3", len(snap))
+	}
+	want := []TopKEntry{{Key: "k2", Count: 3}, {Key: "k1", Count: 2}, {Key: "k0", Count: 1}}
+	for i, w := range want {
+		if snap[i] != w {
+			t.Errorf("snap[%d] = %+v, want %+v", i, snap[i], w)
+		}
+	}
+}
+
+// TestTopKHeavyHitters: on a skewed stream with many more distinct keys
+// than slots, every true heavy hitter (freq > N/k) survives and its count
+// is an overestimate bounded by Err — the Space-Saving guarantees.
+func TestTopKHeavyHitters(t *testing.T) {
+	const k = 16
+	tk := NewTopK(k)
+	truth := map[string]uint64{}
+	rng := xrand.New(42)
+	var n uint64
+	offer := func(key string) {
+		tk.Offer(key)
+		truth[key]++
+		n++
+	}
+	// 4 heavy keys at ~1000 each over ~6000 light singletons.
+	for i := 0; i < 1000; i++ {
+		for h := 0; h < 4; h++ {
+			offer(fmt.Sprintf("heavy%d", h))
+		}
+		for l := 0; l < 6; l++ {
+			offer(fmt.Sprintf("light%d", rng.Uint64()%100000))
+		}
+	}
+	snap := tk.Snapshot()
+	if len(snap) != k {
+		t.Fatalf("len = %d, want %d", len(snap), k)
+	}
+	got := map[string]TopKEntry{}
+	for _, e := range snap {
+		got[e.Key] = e
+	}
+	for h := 0; h < 4; h++ {
+		key := fmt.Sprintf("heavy%d", h)
+		e, ok := got[key]
+		if !ok {
+			t.Fatalf("heavy hitter %s evicted from sketch", key)
+		}
+		if e.Count < truth[key] {
+			t.Errorf("%s: count %d underestimates true %d", key, e.Count, truth[key])
+		}
+		if e.Count-e.Err > truth[key] {
+			t.Errorf("%s: count-err %d exceeds true %d — error bound broken", key, e.Count-e.Err, truth[key])
+		}
+	}
+	// Global Space-Saving invariant: every count is an overestimate.
+	for _, e := range snap {
+		if e.Count < truth[e.Key] {
+			t.Errorf("%s: count %d < true %d", e.Key, e.Count, truth[e.Key])
+		}
+	}
+}
+
+// TestMergeTopK folds two shard sketches and checks counts add and the
+// top-k cut is by merged count with deterministic tie-breaks.
+func TestMergeTopK(t *testing.T) {
+	a := NewTopK(4)
+	b := NewTopK(4)
+	a.OfferN("x", 10)
+	a.OfferN("y", 5)
+	b.OfferN("x", 7)
+	b.OfferN("z", 6)
+	merged := MergeTopK(2, a.Snapshot(), b.Snapshot())
+	if len(merged) != 2 {
+		t.Fatalf("len = %d, want 2", len(merged))
+	}
+	if merged[0].Key != "x" || merged[0].Count != 17 {
+		t.Errorf("merged[0] = %+v, want x:17", merged[0])
+	}
+	if merged[1].Key != "z" || merged[1].Count != 6 {
+		t.Errorf("merged[1] = %+v, want z:6", merged[1])
+	}
+	// Determinism on ties.
+	m2 := MergeTopK(0, []TopKEntry{{Key: "b", Count: 3}, {Key: "a", Count: 3}})
+	if m2[0].Key != "a" || m2[1].Key != "b" {
+		t.Errorf("tie-break not by key: %+v", m2)
+	}
+}

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Clock returns the current time. Windows take an injectable Clock so
+// rotation is deterministic under test; nil means time.Now.
+type Clock func() time.Time
+
+// WindowConfig sizes a sliding window.
+type WindowConfig struct {
+	// Bucket is the duration of one ring bucket (default 1s).
+	Bucket time.Duration
+	// Buckets is the number of ring buckets; the rolling window spans
+	// Bucket*Buckets (default 60).
+	Buckets int
+	// Now is the clock (nil = time.Now).
+	Now Clock
+}
+
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.Bucket <= 0 {
+		c.Bucket = time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 60
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// WindowCounts are the additive counters of one window (or one bucket).
+// Latencies use the same power-of-two bucket scheme as Histogram, so
+// quantiles come from the shared pow2Quantile machinery.
+type WindowCounts struct {
+	Gets      uint64 `json:"gets"`
+	GetHits   uint64 `json:"get_hits"`
+	Puts      uint64 `json:"puts"`
+	Fills     uint64 `json:"fills"`
+	Evictions uint64 `json:"evictions"`
+	Bypasses  uint64 `json:"bypasses"`
+
+	LatCount uint64 `json:"lat_count"`
+	LatSumNs uint64 `json:"lat_sum_ns"`
+	// Lat is the power-of-two latency histogram (bucket i counts values v
+	// with bits.Len64(v)==i, as in Histogram).
+	Lat [histBuckets]uint64 `json:"-"`
+}
+
+func (c *WindowCounts) add(o *WindowCounts) {
+	c.Gets += o.Gets
+	c.GetHits += o.GetHits
+	c.Puts += o.Puts
+	c.Fills += o.Fills
+	c.Evictions += o.Evictions
+	c.Bypasses += o.Bypasses
+	c.LatCount += o.LatCount
+	c.LatSumNs += o.LatSumNs
+	for i := range c.Lat {
+		c.Lat[i] += o.Lat[i]
+	}
+}
+
+// winSlot is one ring bucket, stamped with the epoch (bucket index since
+// the Unix epoch) it currently holds. Stale slots are skipped on read and
+// recycled on write.
+type winSlot struct {
+	epoch int64
+	WindowCounts
+}
+
+// Window is a sliding-window metrics engine: a ring of fixed-duration
+// buckets over an injectable clock, answering "what is the hit rate / QPS /
+// eviction rate / latency quantile over the last N seconds" instead of
+// since process start. One mutex guards the ring; recording is O(1) and
+// allocation-free, reading sums at most Buckets slots. A nil *Window is a
+// no-op on every method — the disabled mode.
+type Window struct {
+	mu         sync.Mutex
+	cfg        WindowConfig
+	slots      []winSlot
+	firstEpoch int64 // earliest epoch ever written (covered-duration clamp)
+}
+
+// NewWindow returns a window with cfg (zero fields get defaults).
+func NewWindow(cfg WindowConfig) *Window {
+	cfg = cfg.withDefaults()
+	w := &Window{cfg: cfg, slots: make([]winSlot, cfg.Buckets), firstEpoch: -1}
+	for i := range w.slots {
+		w.slots[i].epoch = -1
+	}
+	return w
+}
+
+// epochOf maps a time to its bucket index.
+func (w *Window) epochOf(t time.Time) int64 {
+	return t.UnixNano() / int64(w.cfg.Bucket)
+}
+
+// slot rotates to and returns the bucket for the current time. Caller
+// holds w.mu.
+func (w *Window) slot() *winSlot {
+	e := w.epochOf(w.cfg.Now())
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	if s.epoch != e {
+		s.WindowCounts = WindowCounts{}
+		s.epoch = e
+	}
+	if w.firstEpoch < 0 {
+		w.firstEpoch = e
+	}
+	return s
+}
+
+// RecordGet counts one GET and whether it hit.
+func (w *Window) RecordGet(hit bool) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	s := w.slot()
+	s.Gets++
+	if hit {
+		s.GetHits++
+	}
+	w.mu.Unlock()
+}
+
+// RecordPut counts one PUT and whether it filled a line.
+func (w *Window) RecordPut(fill bool) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	s := w.slot()
+	s.Puts++
+	if fill {
+		s.Fills++
+	}
+	w.mu.Unlock()
+}
+
+// RecordEvictions counts n evictions (conflict or budget).
+func (w *Window) RecordEvictions(n uint64) {
+	if w == nil || n == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.slot().Evictions += n
+	w.mu.Unlock()
+}
+
+// RecordBypass counts one declined fill (admission or policy).
+func (w *Window) RecordBypass() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.slot().Bypasses++
+	w.mu.Unlock()
+}
+
+// RecordLatency records one request latency in nanoseconds.
+func (w *Window) RecordLatency(ns uint64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	s := w.slot()
+	s.LatCount++
+	s.LatSumNs += ns
+	s.Lat[bits.Len64(ns)]++
+	w.mu.Unlock()
+}
+
+// WindowSnapshot is the summed state of the buckets still inside the
+// window at snapshot time.
+type WindowSnapshot struct {
+	// WindowSec is the configured window span; CoveredSec is how much of it
+	// the server has actually been recording (≤ WindowSec right after boot),
+	// the denominator for the rate figures.
+	WindowSec  float64 `json:"window_s"`
+	BucketSec  float64 `json:"bucket_s"`
+	CoveredSec float64 `json:"covered_s"`
+
+	Counts WindowCounts `json:"counts"`
+}
+
+// Snapshot sums the live buckets. Nil-safe (zero snapshot).
+func (w *Window) Snapshot() WindowSnapshot {
+	if w == nil {
+		return WindowSnapshot{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cur := w.epochOf(w.cfg.Now())
+	n := int64(len(w.slots))
+	sn := WindowSnapshot{
+		WindowSec: w.cfg.Bucket.Seconds() * float64(n),
+		BucketSec: w.cfg.Bucket.Seconds(),
+	}
+	lo := cur - n + 1
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.epoch >= lo && s.epoch <= cur {
+			sn.Counts.add(&s.WindowCounts)
+		}
+	}
+	if w.firstEpoch >= 0 {
+		covered := cur - w.firstEpoch + 1
+		if covered > n {
+			covered = n
+		}
+		if covered > 0 {
+			sn.CoveredSec = float64(covered) * sn.BucketSec
+		}
+	}
+	return sn
+}
+
+// MergeWindowSnapshots sums per-shard snapshots into a global one. The
+// covered duration is the maximum — shards share one clock, so the widest
+// coverage is the correct rate denominator for the summed counts.
+func MergeWindowSnapshots(snaps ...WindowSnapshot) WindowSnapshot {
+	var out WindowSnapshot
+	for _, s := range snaps {
+		if out.WindowSec == 0 {
+			out.WindowSec, out.BucketSec = s.WindowSec, s.BucketSec
+		}
+		if s.CoveredSec > out.CoveredSec {
+			out.CoveredSec = s.CoveredSec
+		}
+		out.Counts.add(&s.Counts)
+	}
+	return out
+}
+
+// HitRatePct is the windowed GET hit rate in percent (0 when no GETs).
+func (s WindowSnapshot) HitRatePct() float64 {
+	if s.Counts.Gets == 0 {
+		return 0
+	}
+	return 100 * float64(s.Counts.GetHits) / float64(s.Counts.Gets)
+}
+
+// QPS is the windowed request rate (GETs + PUTs per covered second).
+func (s WindowSnapshot) QPS() float64 {
+	if s.CoveredSec <= 0 {
+		return 0
+	}
+	return float64(s.Counts.Gets+s.Counts.Puts) / s.CoveredSec
+}
+
+// EvictionsPerSec is the windowed eviction rate.
+func (s WindowSnapshot) EvictionsPerSec() float64 {
+	if s.CoveredSec <= 0 {
+		return 0
+	}
+	return float64(s.Counts.Evictions) / s.CoveredSec
+}
+
+// MeanLatencyNs is the windowed mean request latency (0 when empty).
+func (s WindowSnapshot) MeanLatencyNs() float64 {
+	if s.Counts.LatCount == 0 {
+		return 0
+	}
+	return float64(s.Counts.LatSumNs) / float64(s.Counts.LatCount)
+}
+
+// LatencyQuantileNs returns the q-quantile (q in (0,1]) of the windowed
+// latency histogram, linearly interpolated inside the matched power-of-two
+// bucket. 0 when the window holds no latencies.
+func (s WindowSnapshot) LatencyQuantileNs(q float64) float64 {
+	return pow2Quantile(&s.Counts.Lat, s.Counts.LatCount, q)
+}
+
+// pow2Quantile computes a nearest-rank quantile over power-of-two buckets
+// (the Histogram/WindowCounts scheme), interpolating linearly within the
+// matched bucket's [lo, hi] value range so adjacent quantiles don't all
+// collapse onto bucket bounds.
+func pow2Quantile(buckets *[histBuckets]uint64, count uint64, q float64) float64 {
+	if count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := range buckets {
+		n := buckets[i]
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := pow2BucketRange(i)
+			frac := float64(target-cum) / float64(n)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += n
+	}
+	return 0
+}
+
+// pow2BucketRange returns the inclusive [lo, hi] value range of power-of-
+// two bucket i: bucket 0 holds {0}, bucket i≥1 holds [2^(i-1), 2^i-1].
+func pow2BucketRange(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = 1 << uint(i-1)
+	if i >= 64 {
+		return lo, ^uint64(0)
+	}
+	return lo, 1<<uint(i) - 1
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -73,6 +74,8 @@ type ReplayReport struct {
 	QPS        float64 `json:"qps"` // achieved request throughput
 	P50Micros  float64 `json:"p50_us"`
 	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
+	MaxMicros  float64 `json:"max_us"`
 	MeanMicros float64 `json:"mean_us"`
 }
 
@@ -165,21 +168,30 @@ func Replay(accs []trace.Access, opt ReplayOptions) (ReplayReport, error) {
 	sort.Float64s(lats)
 	rep.P50Micros = percentile(lats, 50)
 	rep.P99Micros = percentile(lats, 99)
+	rep.P999Micros = percentile(lats, 99.9)
+	if n := len(lats); n > 0 {
+		rep.MaxMicros = lats[n-1]
+	}
 	return rep, nil
 }
 
-// percentile returns the p-th percentile (nearest-rank) of sorted xs, 0 on
-// empty.
+// percentile returns the p-th percentile of sorted xs by the strict
+// nearest-rank method: the smallest element whose rank r satisfies
+// r >= ceil(p/100 * n), i.e. sorted[ceil(p*n/100) - 1]. 0 on empty;
+// p <= 0 clamps to the minimum and p >= 100 to the maximum. (The earlier
+// round-half-up formula disagreed with nearest rank for small n — e.g.
+// p=10, n=14 picked index 0 instead of 1.)
 func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	idx := int(math.Ceil(p/100*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
 	return sorted[idx]
 }

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// refNearestRank is the textbook nearest-rank quantile, written as the
+// definition rather than an index formula: the smallest element whose rank
+// r (1-based, count of values at or below it) satisfies r/n >= p/100.
+func refNearestRank(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	for i := 0; i < n; i++ {
+		if 100*float64(i+1) >= p*float64(n) {
+			return sorted[i]
+		}
+	}
+	return sorted[n-1]
+}
+
+// TestPercentileMatchesReference property-tests percentile against the
+// definitional reference over random inputs, sizes, and probabilities, and
+// pins the small-n case the old round-half-up formula got wrong.
+func TestPercentileMatchesReference(t *testing.T) {
+	// Regression: p=10, n=14. Nearest rank is ceil(1.4)=2, i.e. index 1;
+	// the old formula int(1.4+0.5)-1 picked index 0.
+	small := make([]float64, 14)
+	for i := range small {
+		small[i] = float64(i)
+	}
+	if got := percentile(small, 10); got != 1 {
+		t.Errorf("percentile(0..13, 10) = %v, want 1 (nearest rank)", got)
+	}
+
+	rng := xrand.New(7)
+	ps := []float64{0, 0.1, 1, 10, 25, 50, 75, 90, 99, 99.9, 100}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(10_000))
+		}
+		sort.Float64s(xs)
+
+		prev := xs[0] - 1
+		for _, p := range ps {
+			got := percentile(xs, p)
+			if want := refNearestRank(xs, p); p > 0 && got != want {
+				t.Fatalf("trial %d: percentile(n=%d, p=%v) = %v, want %v", trial, n, p, got, want)
+			}
+			// Structural properties: the result is an element, quantiles are
+			// monotone in p, and the extremes are min and max.
+			if i := sort.SearchFloat64s(xs, got); i == n || xs[i] != got {
+				t.Fatalf("trial %d: percentile(p=%v) = %v is not an element", trial, p, got)
+			}
+			if got < prev {
+				t.Fatalf("trial %d: percentile not monotone at p=%v: %v < %v", trial, p, got, prev)
+			}
+			prev = got
+		}
+		if percentile(xs, 0) != xs[0] || percentile(xs, 100) != xs[n-1] {
+			t.Fatalf("trial %d: extremes wrong", trial)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("percentile(nil) must be 0")
+	}
+}

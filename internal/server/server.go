@@ -66,6 +66,53 @@ type Config struct {
 	// EvictObserver, when non-nil, sees every evicted object (tests,
 	// logging). Called with the shard lock held; keep it cheap.
 	EvictObserver func(key string, size int64)
+	// Telemetry configures the production telemetry layer (windowed
+	// metrics, heavy-hitter sketches, request spans). The zero value
+	// disables all of it: a telemetry-off server behaves byte-identically
+	// to one built before the layer existed, at the cost of a few nil
+	// checks per request.
+	Telemetry TelemetryConfig
+}
+
+// TelemetryConfig switches on the server's live telemetry. Every piece is
+// independent and defaults to off.
+type TelemetryConfig struct {
+	// Window enables sliding-window metrics (rolling hit rate, QPS,
+	// eviction rate, latency quantiles per shard and globally, served at
+	// /window) spanning this duration. 0 disables.
+	Window time.Duration
+	// WindowBucket is the ring-bucket duration (default 1s). The ring
+	// holds ceil(Window/WindowBucket) buckets.
+	WindowBucket time.Duration
+	// TopK enables per-shard Space-Saving sketches of the keys driving
+	// misses and evictions (merged across shards at /topkeys), tracking
+	// this many keys per shard. 0 disables.
+	TopK int
+	// Spans samples per-request spans (GET/PUT/DELETE decomposed into
+	// shard-lock wait, policy victim scan, and store I/O) into the
+	// tracer's sink. Nil disables.
+	Spans *obs.SpanTracer
+	// SpanRing, when the span sink is a ring, lets the server serve its
+	// snapshot at /spans.
+	SpanRing *obs.RingSpanSink
+	// Clock overrides the window clock (deterministic tests).
+	Clock obs.Clock
+}
+
+// windowed reports whether sliding-window metrics are on.
+func (t TelemetryConfig) windowed() bool { return t.Window > 0 }
+
+// newWindow builds one shard's window (nil when disabled).
+func (t TelemetryConfig) newWindow() *obs.Window {
+	if !t.windowed() {
+		return nil
+	}
+	bucket := t.WindowBucket
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	n := int((t.Window + bucket - 1) / bucket)
+	return obs.NewWindow(obs.WindowConfig{Bucket: bucket, Buckets: n, Now: t.Clock})
 }
 
 // Server is one policy-driven cache instance plus its HTTP facade.
@@ -74,6 +121,7 @@ type Server struct {
 	shards    []*shard
 	store     *Store
 	shardBits uint
+	spans     *obs.SpanTracer // nil when span tracing is off
 
 	// obs metrics (nil-safe when observability is disabled).
 	mGets    *obs.Counter
@@ -120,8 +168,10 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		store:     NewStore(),
 		shardBits: uint(bits.TrailingZeros64(uint64(cfg.Shards))),
+		spans:     cfg.Telemetry.Spans,
 	}
 	if m := obs.Metrics(); m != nil {
+		registerMetricHelp()
 		s.mGets = m.Counter("server_gets")
 		s.mHits = m.Counter("server_hits")
 		s.mMisses = m.Counter("server_misses")
@@ -140,7 +190,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.shards[i] = newShard(s, localSets, cfg.Ways, shardBudget, cfg.MaxObjectBytes, pol, s.store, cfg.EvictObserver)
+		s.shards[i] = newShard(s, i, localSets, cfg.Ways, shardBudget, cfg.MaxObjectBytes, pol, s.store, cfg.EvictObserver)
 	}
 	return s, nil
 }
@@ -182,15 +232,25 @@ func hashKey(key string) uint64 {
 // Get returns the cached value for key. pc is the optional client-supplied
 // provenance PC (0 when absent) that PC-correlating policies consume.
 func (s *Server) Get(key string, pc uint64) ([]byte, bool) {
+	val, hit, _ := s.get(key, pc, nil)
+	return val, hit
+}
+
+// get is the span-aware GET: sp (nil when the request is unsampled or
+// tracing is off) gets the shard index and phase timings attached. The
+// owning shard is returned so the HTTP layer can record per-shard request
+// latency.
+func (s *Server) get(key string, pc uint64, sp *obs.ActiveSpan) ([]byte, bool, *shard) {
 	sh, block := s.route(key)
-	val, hit := sh.get(key, block, pc)
+	sp.SetShard(sh.idx)
+	val, hit := sh.get(key, block, pc, sp)
 	s.mGets.Inc()
 	if hit {
 		s.mHits.Inc()
 	} else {
 		s.mMisses.Inc()
 	}
-	return val, hit
+	return val, hit, sh
 }
 
 // PutResult reports what a Put did.
@@ -205,29 +265,43 @@ const (
 
 // Put inserts or overwrites key with val.
 func (s *Server) Put(key string, pc uint64, val []byte) PutResult {
+	out, _ := s.put(key, pc, val, nil)
+	return out
+}
+
+// put is the span-aware PUT (see get).
+func (s *Server) put(key string, pc uint64, val []byte, sp *obs.ActiveSpan) (PutResult, *shard) {
 	sh, block := s.route(key)
-	out := sh.put(key, block, pc, val)
+	sp.SetShard(sh.idx)
+	out := sh.put(key, block, pc, val, sp)
 	s.mPuts.Inc()
 	switch out {
 	case putStored:
 		s.mFills.Inc()
-		return PutStored
+		return PutStored, sh
 	case putUpdated:
-		return PutUpdated
+		return PutUpdated, sh
 	default:
 		s.mBypass.Inc()
-		return PutBypassed
+		return PutBypassed, sh
 	}
 }
 
 // Delete removes key, reporting whether it was resident.
 func (s *Server) Delete(key string) bool {
+	ok, _ := s.del(key, nil)
+	return ok
+}
+
+// del is the span-aware DELETE (see get).
+func (s *Server) del(key string, sp *obs.ActiveSpan) (bool, *shard) {
 	sh, block := s.route(key)
-	ok := sh.del(key, block)
+	sp.SetShard(sh.idx)
+	ok := sh.del(key, block, sp)
 	if ok {
 		s.mDeletes.Inc()
 	}
-	return ok
+	return ok, sh
 }
 
 // Snapshot is the aggregate server state served at /stats.
@@ -240,6 +314,9 @@ type Snapshot struct {
 	Totals      shardStats `json:"totals"`
 	UniqueBlobs int        `json:"unique_blobs"`
 	UniqueBytes int64      `json:"unique_bytes"`
+	// Window is the global sliding-window view (nil when windowed metrics
+	// are off) — the "right now" companion to the cumulative Totals.
+	Window *WindowStats `json:"window,omitempty"`
 }
 
 // HitRatePct returns the GET hit rate in percent (0 when no GETs ran).
@@ -279,6 +356,10 @@ func (s *Server) Snapshot() Snapshot {
 		t.Bytes += st.Bytes
 		t.Entries += st.Entries
 	}
+	if s.cfg.Telemetry.windowed() {
+		ws := renderWindow(s.globalWindow())
+		sn.Window = &ws
+	}
 	return sn
 }
 
@@ -291,8 +372,11 @@ const maxRequestBody = 64 << 20
 //	GET    /kv/<key>   200 + body (X-Cache: HIT) | 404 (X-Cache: MISS)
 //	PUT    /kv/<key>   201 stored | 204 updated | 202 bypassed
 //	DELETE /kv/<key>   204 | 404
-//	GET    /stats      aggregate counters as JSON
-//	GET    /metrics    the obs registry (text), same format as -obs-addr
+//	GET    /stats      aggregate counters as JSON (plus the global window)
+//	GET    /metrics    the obs registry; ?format=prometheus for exposition format
+//	GET    /window     sliding-window metrics per shard and global (JSON)
+//	GET    /topkeys    heavy-hitter keys by misses and evictions (JSON)
+//	GET    /spans      recent sampled request spans (JSONL; ring sink only)
 //	GET    /healthz    "ok"
 //
 // Clients may send an X-PC header (hex) carrying the provenance program
@@ -302,24 +386,49 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", s.handleKV)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(s.Snapshot())
+		writeJSON(w, s.Snapshot())
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		obs.Default().WriteText(w)
+	mux.HandleFunc("/metrics", obs.WriteMetricsHTTP)
+	mux.HandleFunc("/window", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.WindowReport())
 	})
+	mux.HandleFunc("/topkeys", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.TopKeys())
+	})
+	if ring := s.cfg.Telemetry.SpanRing; ring != nil {
+		mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			for _, sp := range ring.Snapshot() {
+				if err := enc.Encode(&sp); err != nil {
+					return
+				}
+			}
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
 	return mux
 }
 
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
 func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer func() { s.hLatency.Observe(uint64(time.Since(start).Nanoseconds())) }()
+	var sh *shard
+	defer func() {
+		ns := uint64(time.Since(start).Nanoseconds())
+		s.hLatency.Observe(ns)
+		if sh != nil {
+			sh.win.RecordLatency(ns)
+		}
+	}()
 
 	key, err := url.PathUnescape(strings.TrimPrefix(r.URL.Path, "/kv/"))
 	if err != nil || key == "" {
@@ -336,35 +445,53 @@ func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
 
 	switch r.Method {
 	case http.MethodGet:
-		val, hit := s.Get(key, pc)
+		sp := s.spans.Start(obs.SpanGet)
+		sp.SetKey(key)
+		val, hit, shd := s.get(key, pc, sp)
+		sh = shd
 		if !hit {
 			w.Header().Set("X-Cache", "MISS")
 			w.WriteHeader(http.StatusNotFound)
+			sp.Finish("miss", false)
 			return
 		}
 		w.Header().Set("X-Cache", "HIT")
 		w.Header().Set("Content-Length", strconv.Itoa(len(val)))
 		w.Write(val)
+		sp.Finish("hit", true)
 	case http.MethodPut, http.MethodPost:
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
 		if err != nil {
 			http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
 			return
 		}
-		switch s.Put(key, pc, body) {
+		sp := s.spans.Start(obs.SpanPut)
+		sp.SetKey(key)
+		out, shd := s.put(key, pc, body, sp)
+		sh = shd
+		switch out {
 		case PutStored:
 			w.WriteHeader(http.StatusCreated)
+			sp.Finish("stored", false)
 		case PutUpdated:
 			w.WriteHeader(http.StatusNoContent)
+			sp.Finish("updated", true)
 		default:
 			w.Header().Set("X-Cache", "BYPASS")
 			w.WriteHeader(http.StatusAccepted)
+			sp.Finish("bypassed", false)
 		}
 	case http.MethodDelete:
-		if s.Delete(key) {
+		sp := s.spans.Start(obs.SpanDelete)
+		sp.SetKey(key)
+		ok, shd := s.del(key, sp)
+		sh = shd
+		if ok {
 			w.WriteHeader(http.StatusNoContent)
+			sp.Finish("deleted", true)
 		} else {
 			w.WriteHeader(http.StatusNotFound)
+			sp.Finish("absent", false)
 		}
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/trace"
 )
@@ -64,6 +65,7 @@ type shard struct {
 	pol     policy.Policy
 	entries map[uint64]*entry // synthetic block -> entry
 	store   *Store
+	idx     int // shard index (span/telemetry labeling)
 
 	budget    int64 // byte budget for this shard
 	maxObject int64 // admission bound: larger objects bypass
@@ -74,6 +76,12 @@ type shard struct {
 	onEvict func(key string, size int64)
 	stats   shardStats
 	srv     *Server // back-pointer for the shared obs metrics
+
+	// Telemetry (all nil when disabled; every call below is nil-safe).
+	// win has its own mutex; the sketches are guarded by sh.mu.
+	win      *obs.Window
+	topMiss  *obs.TopK
+	topEvict *obs.TopK
 }
 
 // putOutcome is what a Put did.
@@ -85,17 +93,22 @@ const (
 	putBypassed                   // admission or policy declined to cache
 )
 
-func newShard(srv *Server, localSets, ways int, budget, maxObject int64, pol policy.Policy, store *Store, onEvict func(string, int64)) *shard {
+func newShard(srv *Server, idx, localSets, ways int, budget, maxObject int64, pol policy.Policy, store *Store, onEvict func(string, int64)) *shard {
 	cfg := cache.Config{Sets: localSets, Ways: ways, LineSize: lineSize}
 	sh := &shard{
 		tags:      cache.New(cfg),
 		pol:       pol,
 		entries:   make(map[uint64]*entry),
 		store:     store,
+		idx:       idx,
 		budget:    budget,
 		maxObject: maxObject,
 		onEvict:   onEvict,
 		srv:       srv,
+		win:       srv.cfg.Telemetry.newWindow(),
+	}
+	if k := srv.cfg.Telemetry.TopK; k > 0 {
+		sh.topMiss, sh.topEvict = obs.NewTopK(k), obs.NewTopK(k)
 	}
 	pol.Init(policy.Config{Config: cfg, NumCores: 1})
 	return sh
@@ -138,8 +151,15 @@ func (sh *shard) dropEntry(block uint64, e *entry) {
 // NOT touch the set: the miss protocol belongs to the fill, i.e. to the
 // PUT the client issues next, so one logical miss ages the set exactly
 // once, the same as one simulator Step.
-func (sh *shard) get(key string, block, pc uint64) ([]byte, bool) {
+//
+// sp, nil except for sampled requests, charges the lock acquisition to
+// PhaseLockWait and the blob fetch to PhaseStore; the telemetry calls are
+// all nil-safe no-ops when the layer is off, so behaviour (and the policy
+// decision sequence) is bit-identical either way.
+func (sh *shard) get(key string, block, pc uint64, sp *obs.ActiveSpan) ([]byte, bool) {
+	sp.Mark()
 	sh.mu.Lock()
+	sp.EndPhase(obs.PhaseLockWait)
 	defer sh.mu.Unlock()
 	sh.stats.Gets++
 	setIdx, way, ok := sh.tags.Probe(block * lineSize)
@@ -149,23 +169,42 @@ func (sh *shard) get(key string, block, pc uint64) ([]byte, bool) {
 			if e != nil {
 				sh.resolveCollision(block, e)
 			}
+			sh.recordGetMiss(key)
 			return nil, false
 		}
 		ctx, _ := sh.access(block, pc, trace.Load)
 		sh.tags.RecordHit(setIdx, way, ctx.Access)
 		sh.pol.Update(ctx, sh.tags.Set(setIdx), way, true)
 		sh.stats.GetHits++
-		return sh.store.Get(e.ref), true
+		sp.Mark()
+		val := sh.store.Get(e.ref)
+		sp.EndPhase(obs.PhaseStore)
+		sh.win.RecordGet(true)
+		return val, true
 	}
+	sh.recordGetMiss(key)
 	return nil, false
+}
+
+// recordGetMiss feeds the windowed metrics and the miss heavy-hitter
+// sketch. Caller holds sh.mu (the sketch is unsynchronized).
+func (sh *shard) recordGetMiss(key string) {
+	sh.win.RecordGet(false)
+	sh.topMiss.Offer(key)
 }
 
 // put inserts or overwrites key. An overwrite of a resident key is the hit
 // protocol plus a value swap; an insert is the simulator's miss path:
 // RecordMissTouch, invalid way or policy victim, fill or bypass. After any
 // growth the shard enforces its byte budget.
-func (sh *shard) put(key string, block, pc uint64, val []byte) putOutcome {
+//
+// Sampled spans charge lock acquisition to PhaseLockWait, policy victim
+// selection (conflict and budget sweeps alike) to PhaseVictim, and blob
+// writes to PhaseStore.
+func (sh *shard) put(key string, block, pc uint64, val []byte, sp *obs.ActiveSpan) putOutcome {
+	sp.Mark()
 	sh.mu.Lock()
+	sp.EndPhase(obs.PhaseLockWait)
 	defer sh.mu.Unlock()
 	sh.stats.Puts++
 	size := int64(len(val))
@@ -178,13 +217,16 @@ func (sh *shard) put(key string, block, pc uint64, val []byte) putOutcome {
 			sh.tags.RecordHit(setIdx, way, ctx.Access)
 			sh.pol.Update(ctx, sh.tags.Set(setIdx), way, true)
 			sh.stats.PutHits++
+			sp.Mark()
 			ref := sh.store.Put(val)
+			sp.EndPhase(obs.PhaseStore)
 			sh.store.Release(e.ref)
 			sh.bytes += size - e.size
 			sh.srv.gBytes.Add(size - e.size)
 			e.ref, e.size = ref, size
 			sh.stats.Bytes = sh.bytes
-			sh.enforceBudget()
+			sh.enforceBudget(sp)
+			sh.win.RecordPut(false)
 			return putUpdated
 		}
 		if e != nil {
@@ -203,15 +245,19 @@ func (sh *shard) put(key string, block, pc uint64, val []byte) putOutcome {
 		// size-blind-LRU pathology is exactly this, so the bound is the
 		// server's first-line admission hook.
 		sh.stats.AdmitBypasses++
+		sh.recordPutBypass()
 		return putBypassed
 	}
 
 	set := sh.tags.Set(setIdx)
 	way = sh.tags.InvalidWay(setIdx)
 	if way < 0 {
+		sp.Mark()
 		way = sh.pol.Victim(ctx, set)
+		sp.EndPhase(obs.PhaseVictim)
 		if way == policy.Bypass {
 			sh.stats.PolicyBypasses++
+			sh.recordPutBypass()
 			return putBypassed
 		}
 	}
@@ -222,7 +268,9 @@ func (sh *shard) put(key string, block, pc uint64, val []byte) putOutcome {
 			sh.stats.Evictions++
 		}
 	}
+	sp.Mark()
 	ref := sh.store.Put(val)
+	sp.EndPhase(obs.PhaseStore)
 	sh.entries[block] = &entry{key: key, ref: ref, size: size}
 	sh.bytes += size
 	sh.srv.gBytes.Add(size)
@@ -230,14 +278,25 @@ func (sh *shard) put(key string, block, pc uint64, val []byte) putOutcome {
 	sh.stats.Entries++
 	sh.stats.Fills++
 	sh.pol.Update(ctx, set, way, false)
-	sh.enforceBudget()
+	sh.enforceBudget(sp)
+	sh.win.RecordPut(true)
 	return putStored
 }
 
-// evictEntry drops an evicted object and reports it to the observer.
+// recordPutBypass counts a declined PUT in the sliding window (as both a
+// put and a bypass). Caller holds sh.mu.
+func (sh *shard) recordPutBypass() {
+	sh.win.RecordPut(false)
+	sh.win.RecordBypass()
+}
+
+// evictEntry drops an evicted object, reports it to the observer, and
+// feeds the eviction telemetry (window rate + heavy-hitter sketch).
 func (sh *shard) evictEntry(block uint64, e *entry) {
 	key, size := e.key, e.size
 	sh.dropEntry(block, e)
+	sh.win.RecordEvictions(1)
+	sh.topEvict.Offer(key)
 	if sh.onEvict != nil {
 		sh.onEvict(key, size)
 	}
@@ -247,8 +306,10 @@ func (sh *shard) evictEntry(block uint64, e *entry) {
 // invalidation verb in the policy interface — so the line simply becomes
 // an invalid way that the next fill claims compulsorily, the same thing a
 // coherence back-invalidation does to the simulator's cache.
-func (sh *shard) del(key string, block uint64) bool {
+func (sh *shard) del(key string, block uint64, sp *obs.ActiveSpan) bool {
+	sp.Mark()
 	sh.mu.Lock()
+	sp.EndPhase(obs.PhaseLockWait)
 	defer sh.mu.Unlock()
 	e := sh.entries[block]
 	if e == nil || e.key != key {
@@ -267,8 +328,13 @@ func (sh *shard) del(key string, block uint64) bool {
 // the policy contract only defines Victim over full sets. The cursor
 // persists across calls so sustained pressure spreads over the whole
 // shard instead of hammering set 0.
-func (sh *shard) enforceBudget() {
+func (sh *shard) enforceBudget(sp *obs.ActiveSpan) {
 	sets := uint32(sh.tags.Config().Sets)
+	if sh.bytes <= sh.budget {
+		return
+	}
+	sp.Mark()
+	defer sp.EndPhase(obs.PhaseVictim)
 	for sh.bytes > sh.budget {
 		evicted := false
 		for i := uint32(0); i < sets; i++ {
@@ -329,4 +395,12 @@ func (sh *shard) snapshot() shardStats {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.stats
+}
+
+// topSnapshots copies both heavy-hitter sketches under the shard lock.
+// Both are nil (and the snapshots empty) when sketches are disabled.
+func (sh *shard) topSnapshots() (miss, evict []obs.TopKEntry) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.topMiss.Snapshot(), sh.topEvict.Snapshot()
 }
