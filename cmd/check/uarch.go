@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/uarch/event"
+	"repro/internal/workloads"
+)
+
+// The `-pair uarch` sweep is the timing-level analogue of the refmodel
+// differential: the event-driven engine (internal/uarch/event) is run
+// against the legacy core loop over a grid of workloads and LLC
+// policies, and the two executions must agree byte-for-byte — LLC access
+// stream, victim sequence, and Result. The seed dimension shifts the
+// capture window into the workload's instruction stream so different
+// seeds exercise different program phases.
+
+var uarchWorkloads = []string{"429.mcf", "470.lbm", "483.xalancbmk"}
+
+var uarchPolicies = []string{
+	"lru", "random", "srrip", "brrip", "drrip", "ship", "ship++", "hawkeye",
+}
+
+func runUarchSweep(workloadFilter string, seeds, n int, noShrink, verbose bool) int {
+	benches := uarchWorkloads
+	if workloadFilter != "" {
+		benches = []string{workloadFilter}
+	}
+	cells := 0
+	for _, bench := range benches {
+		spec, err := workloads.ByName(bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "check: %v\n", err)
+			return 2
+		}
+		gen := workloads.New(spec)
+		for seed := 0; seed < seeds; seed++ {
+			// Consecutive windows of the stream: seed k checks
+			// instructions [k*n, (k+1)*n).
+			ins := make([]trace.Instr, n)
+			for i := range ins {
+				ins[i] = gen.Next()
+			}
+			warmup := uint64(n / 5)
+			measure := uint64(n) - warmup
+			for _, pol := range uarchPolicies {
+				cfg := uarch.ScaledConfig(1, 8)
+				if verbose {
+					fmt.Printf("check: uarch / %s / %s / seed %d (%d instrs)\n",
+						bench, pol, seed, n)
+				}
+				d := event.CrossCheck(cfg, pol, ins, warmup, measure)
+				cells++
+				if d == nil {
+					continue
+				}
+				fmt.Fprintf(os.Stderr,
+					"check: DIVERGENCE pair=uarch workload=%s policy=%s seed=%d\n",
+					bench, pol, seed)
+				if !noShrink {
+					fmt.Fprintf(os.Stderr, "check: shrinking %d-instruction stream...\n", len(ins))
+					ins = event.Shrink(cfg, pol, ins, warmup, measure)
+					d = event.CrossCheck(cfg, pol, ins, warmup, measure)
+				}
+				fmt.Fprintf(os.Stderr, "check: %d instructions, first divergence: %s\n", len(ins), d)
+				return 1
+			}
+		}
+	}
+	fmt.Printf("check: ok — uarch event-vs-legacy, %d workloads x %d policies x %d seeds = %d cells, no divergence\n",
+		len(benches), len(uarchPolicies), seeds, cells)
+	return 0
+}

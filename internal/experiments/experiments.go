@@ -99,7 +99,7 @@ func register(id, desc string, run func(s Scale) (*stats.Table, error)) {
 // paperOrder fixes the presentation order of the experiments (Go package
 // init runs per file alphabetically, so registration order is not it).
 var paperOrder = []string{
-	"tab1", "fig10", "fig11", "fig12", "fig13", "tab4", "ablation",
+	"tab1", "fig10", "fig11", "fig12", "fig13", "tab4", "mcscale", "ablation",
 	"agesweep", "weightsweep", "kpcp", "quantgate", "fig1", "fig3", "fig4",
 	"fig5", "fig6", "fig7", "intervals", "hillclimb",
 }

@@ -24,7 +24,7 @@ func TestListAndUnknown(t *testing.T) {
 	exps := List()
 	want := []string{"tab1", "fig1", "fig3", "hillclimb", "fig4", "fig5", "fig6", "fig7",
 		"fig10", "fig11", "fig12", "kpcp", "fig13", "tab4", "ablation", "agesweep",
-		"weightsweep", "quantgate"}
+		"weightsweep", "quantgate", "mcscale"}
 	have := map[string]bool{}
 	for _, e := range exps {
 		have[e.ID] = true
@@ -237,6 +237,26 @@ func TestFig13Tiny(t *testing.T) {
 			if v < -80 || v > 200 {
 				t.Errorf("fig13 speedup %v%% implausible", v)
 			}
+		}
+	}
+}
+
+func TestMCScaleTiny(t *testing.T) {
+	tbl, err := Run("mcscale", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(mcScaleCores) * len(mcScalePolicies); len(tbl.Rows) != want {
+		t.Fatalf("mcscale rows = %d, want %d", len(tbl.Rows), want)
+	}
+	for _, row := range tbl.Rows {
+		ipc := parseF(t, row[2])
+		if ipc <= 0 || ipc > 4 {
+			t.Errorf("%s-core %s: implausible geomean IPC %v", row[0], row[1], ipc)
+		}
+		hit := parseF(t, row[3])
+		if hit < 0 || hit > 100 {
+			t.Errorf("%s-core %s: LLC demand hit%% %v out of range", row[0], row[1], hit)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cachesim"
 	"repro/internal/rl"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -19,8 +20,35 @@ import (
 // the float policy.
 const QuantGateMaxDelta = 0.1 // percentage points of hit rate
 
+// quantGateSegments splits the evaluation trace into this many disjoint
+// segments, each replayed from a cold cache, with hit rates aggregated
+// across segments. A quantization-flipped near-tie eviction diverges the
+// cache trajectory chaotically from that point on; sectioning bounds how
+// far one flip can propagate, so the gate measures the quantization
+// effect rather than a single flip's butterfly cascade.
+const quantGateSegments = 4
+
 func init() {
 	register("quantgate", "int8 accuracy gate: float vs quantized hit rate per training benchmark", runQuantGate)
+}
+
+// segmentedHitRate replays tr in quantGateSegments cold-start sections and
+// returns the aggregate hit percentage.
+func segmentedHitRate(eval func([]trace.Access) cachesim.Stats, tr []trace.Access) float64 {
+	var hits, accesses uint64
+	for k := 0; k < quantGateSegments; k++ {
+		seg := tr[k*len(tr)/quantGateSegments : (k+1)*len(tr)/quantGateSegments]
+		if len(seg) == 0 {
+			continue
+		}
+		st := eval(seg)
+		hits += st.Hits
+		accesses += st.Accesses
+	}
+	if accesses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(accesses)
 }
 
 func runQuantGate(s Scale) (*stats.Table, error) {
@@ -38,8 +66,12 @@ func runQuantGate(s Scale) (*stats.Table, error) {
 		}
 		var row []string
 		err = withTrainedAgent(bench, s, func(agent *rl.Agent, _ []trace.Access) error {
-			f := rl.Evaluate(cfg, agent, tr).HitRate()
-			q := rl.EvaluateInt8(cfg, agent, tr).HitRate()
+			f := segmentedHitRate(func(seg []trace.Access) cachesim.Stats {
+				return rl.Evaluate(cfg, agent, seg)
+			}, tr)
+			q := segmentedHitRate(func(seg []trace.Access) cachesim.Stats {
+				return rl.EvaluateInt8(cfg, agent, seg)
+			}, tr)
 			delta := q - f
 			gate := "pass"
 			if math.Abs(delta) > QuantGateMaxDelta {

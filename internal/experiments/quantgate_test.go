@@ -12,12 +12,14 @@ import (
 // quantization scheme changed enough decisions to be visible at the
 // workload level, and the int8 path must not be used for reporting.
 //
-// The gate is measured at QuickScale (60k-access traces, ~17s): shorter
-// traces sit below the measurement floor — a single flipped near-tie
-// eviction diverges the cache trajectory and shows up as ±0.2-0.3 pp of
-// noise either way, swamping the actual quantization effect. -short
-// drops to tinyScale, which still catches gross breakage (a wrong scale
-// or an overflowing accumulator is off by whole percentage points).
+// The gate is measured at QuickScale (60k-access traces, ~17s) over
+// cold-start trace segments (quantGateSegments): shorter traces sit below
+// the measurement floor — a single flipped near-tie eviction diverges the
+// cache trajectory and shows up as ±0.2-0.3 pp of noise either way,
+// swamping the actual quantization effect — and segmenting bounds how far
+// any one flip can cascade. -short drops to tinyScale, which still
+// catches gross breakage (a wrong scale or an overflowing accumulator is
+// off by whole percentage points).
 func TestQuantGateWithinTolerance(t *testing.T) {
 	scale := QuickScale()
 	if testing.Short() {

@@ -1,0 +1,102 @@
+package event
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Component is a named simulation element attached to an engine.
+// Components exchange memory traffic through Ports and may additionally
+// handle scheduled events (the cores do; the memory components are
+// purely transactional).
+type Component interface {
+	Name() string
+}
+
+// ComponentBase carries the name, engine, and obs hook every component
+// shares; concrete components embed it.
+type ComponentBase struct {
+	name   string
+	engine *Engine
+	hook   obs.Hook
+	ev     obs.CacheEvent // scratch record, reused across emissions
+}
+
+func newComponentBase(name string, engine *Engine, hook obs.Hook) ComponentBase {
+	return ComponentBase{name: name, engine: engine, hook: hook}
+}
+
+// Name implements Component.
+func (c *ComponentBase) Name() string { return c.name }
+
+// emit sends one cache event to the component's obs hook, tagged with
+// the component name so per-component streams can be filtered out of a
+// shared sink.
+func (c *ComponentBase) emit(kind obs.EventKind, a trace.Access, seq uint64, setIdx uint32, way int) {
+	if c.hook == nil {
+		return
+	}
+	c.ev = obs.CacheEvent{
+		Kind: kind, Seq: seq, PC: a.PC, Addr: a.Addr, Type: uint8(a.Type),
+		Set: setIdx, Way: way, Policy: c.name,
+	}
+	c.hook.OnCacheEvent(&c.ev)
+}
+
+// MemReq is one memory transaction flowing down the hierarchy.
+type MemReq struct {
+	Core int
+	PC   uint64
+	Addr uint64
+	Type trace.AccessType
+	Now  uint64 // issue time at the requester
+}
+
+// MemRsp is the answer: when the data is available.
+type MemRsp struct {
+	Done uint64
+}
+
+// Transactor is the receiving side of a connection: a component that can
+// resolve a memory request. Resolution is synchronous — the response
+// carries the completion time, and any cascaded traffic (fills, victim
+// writebacks, prefetches) happens before Transact returns. That
+// depth-first order is deliberate: it is the legacy model's call order,
+// which the cross-check requires byte-for-byte.
+type Transactor interface {
+	Transact(req MemReq) MemRsp
+}
+
+// Port is a named outbound endpoint on a component, plugged into a peer
+// component's Transactor side by Connect.
+type Port struct {
+	name  string
+	owner Component
+	peer  Transactor
+}
+
+// NewPort builds an unconnected port on owner.
+func NewPort(owner Component, name string) *Port {
+	return &Port{name: name, owner: owner}
+}
+
+// Name returns the port's full name (component.port).
+func (p *Port) Name() string { return p.owner.Name() + "." + p.name }
+
+// Connect plugs the port into its peer. A port is connected exactly once.
+func (p *Port) Connect(t Transactor) {
+	if p.peer != nil {
+		panic(fmt.Sprintf("event: port %s connected twice", p.Name()))
+	}
+	p.peer = t
+}
+
+// Transact forwards the request to the connected peer.
+func (p *Port) Transact(req MemReq) MemRsp {
+	if p.peer == nil {
+		panic(fmt.Sprintf("event: port %s not connected", p.Name()))
+	}
+	return p.peer.Transact(req)
+}

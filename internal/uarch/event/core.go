@@ -1,0 +1,124 @@
+package event
+
+import (
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// stepEvent asks a core to execute its next instruction.
+type stepEvent struct {
+	EventBase
+}
+
+// coreC is the analytic out-of-order window model as an event-driven
+// component: the same issue/ROB/retire arithmetic as the legacy
+// coreState, with memory traffic flowing through ports and the next
+// instruction step scheduled on the engine at the core's local time.
+// That scheduling is what turns N-core runs into an exact
+// per-instruction smallest-local-time interleave.
+type coreC struct {
+	ComponentBase
+	id         int
+	width      uint64
+	robSize    int
+	l1iLatency uint64
+	retire     []uint64 // ring of retirement times
+	issued     uint64
+	lastRetire uint64
+	lastLoad   uint64
+	fetchBlock uint64
+	instrs     uint64
+
+	iPort *Port // instruction fetches → L1I
+	dPort *Port // loads/stores → L1D
+
+	src       uarch.InstrSource
+	remaining uint64
+}
+
+func newCoreC(name string, engine *Engine, hook obs.Hook, id int, cfg uarch.Config) *coreC {
+	c := &coreC{
+		ComponentBase: newComponentBase(name, engine, hook),
+		id:            id,
+		width:         uint64(cfg.IssueWidth),
+		robSize:       cfg.ROBSize,
+		l1iLatency:    cfg.L1ILatency,
+		retire:        make([]uint64, cfg.ROBSize),
+		// No block fetched yet (the PC-0 sentinel the legacy model uses).
+		fetchBlock: ^uint64(0),
+	}
+	c.iPort = NewPort(c, "l1i")
+	c.dPort = NewPort(c, "l1d")
+	return c
+}
+
+// now returns the core's local time (the last retirement).
+func (c *coreC) now() uint64 { return c.lastRetire }
+
+// Handle executes one instruction and, while the current phase has
+// instructions left, reschedules itself at the new local time.
+func (c *coreC) Handle(Event) {
+	c.step(c.src.Next())
+	c.remaining--
+	if c.remaining > 0 {
+		c.engine.Schedule(stepEvent{NewEventBase(VTime(c.lastRetire), c)})
+	}
+}
+
+// step runs the window model for one instruction: issue bounded by width
+// and ROB occupancy, a front-end stall for instruction-fetch misses,
+// load dependencies serialized on the previous load, in-order retire.
+func (c *coreC) step(ins trace.Instr) {
+	// Issue constraint 1: width instructions per cycle.
+	issue := c.issued / c.width
+	// Issue constraint 2: the ROB must have a free slot.
+	if c.issued >= uint64(c.robSize) {
+		if r := c.retire[c.issued%uint64(c.robSize)]; r > issue {
+			issue = r
+		}
+	}
+	// Front end: a fetch miss stalls issue by its latency beyond a
+	// pipelined L1I hit; a merge completing sooner than that never pulls
+	// issue backward.
+	if blk := ins.PC >> 6; blk != c.fetchBlock {
+		c.fetchBlock = blk
+		done := c.iPort.Transact(MemReq{
+			Core: c.id, PC: ins.PC, Addr: ins.PC, Type: trace.Load, Now: issue,
+		}).Done
+		if done > issue+c.l1iLatency {
+			issue = done - c.l1iLatency
+		}
+	}
+	// Dependent loads wait for the previous load's data.
+	if ins.Kind == trace.MemLoadDep && c.lastLoad > issue {
+		issue = c.lastLoad
+	}
+
+	var complete uint64
+	switch ins.Kind {
+	case trace.MemLoad, trace.MemLoadDep:
+		complete = c.dPort.Transact(MemReq{
+			Core: c.id, PC: ins.PC, Addr: ins.Addr, Type: trace.Load, Now: issue,
+		}).Done
+		c.lastLoad = complete
+	case trace.MemStore:
+		// Stores retire once issued (they drain from the store buffer);
+		// the RFO still perturbs the caches.
+		c.dPort.Transact(MemReq{
+			Core: c.id, PC: ins.PC, Addr: ins.Addr, Type: trace.RFO, Now: issue,
+		})
+		complete = issue + 1
+	default:
+		complete = issue + 1
+	}
+
+	// In-order retirement.
+	if complete < c.lastRetire {
+		complete = c.lastRetire
+	}
+	c.retire[c.issued%uint64(c.robSize)] = complete
+	c.lastRetire = complete
+	c.issued++
+	c.instrs++
+}

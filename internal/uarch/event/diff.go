@@ -1,0 +1,161 @@
+package event
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// This file is the cross-check that licenses the event engine: it
+// replays one instruction stream through the legacy uarch.System and
+// through the event System and requires the two to agree byte-for-byte
+// on everything the LLC can observe — the full access stream (address,
+// type, PC, hit/miss, including warmup), the policy's victim decisions
+// (set, way, in order), and the measured Result (IPC, LLCStats,
+// DemandMPKI). It is the uarch analogue of refmodel.Diff, down to the
+// chunk-halving counterexample shrinker.
+
+// victimRec is one recorded replacement decision.
+type victimRec struct {
+	SetIdx uint32
+	Way    int
+}
+
+// accessRec is one recorded LLC access.
+type accessRec struct {
+	A   trace.Access
+	Hit bool
+}
+
+// victimRecorder wraps a policy and records every Victim call. Both
+// engines run fresh policy instances from the registry (identical
+// seeds), so equal decision sequences mean equal policy trajectories.
+type victimRecorder struct {
+	policy.Policy
+	victims []victimRec
+}
+
+func (r *victimRecorder) Victim(ctx policy.AccessCtx, set *cache.Set) int {
+	w := r.Policy.Victim(ctx, set)
+	r.victims = append(r.victims, victimRec{SetIdx: ctx.SetIdx, Way: w})
+	return w
+}
+
+// Divergence describes the first observed disagreement between the two
+// engines.
+type Divergence struct {
+	Kind   string // "access", "victim", "access-count", "victim-count", "result"
+	Index  int    // position in the relevant stream (-1 for counts/result)
+	Legacy string
+	Event  string
+}
+
+// String formats the divergence for logs and test failures.
+func (d *Divergence) String() string {
+	return fmt.Sprintf("%s divergence at %d: legacy %s, event %s", d.Kind, d.Index, d.Legacy, d.Event)
+}
+
+// sideRun is one engine's observed behaviour on a stream.
+type sideRun struct {
+	accesses []accessRec
+	victims  []victimRec
+	result   uarch.Result
+}
+
+func runLegacy(cfg uarch.Config, polName string, ins []trace.Instr, warmup, measure uint64) sideRun {
+	rec := &victimRecorder{Policy: policy.MustNew(polName)}
+	sys := uarch.NewSystem(cfg, rec)
+	var out sideRun
+	sys.Hierarchy().SetLLCObserver(func(a trace.Access, hit bool) {
+		out.accesses = append(out.accesses, accessRec{A: a, Hit: hit})
+	})
+	out.result = sys.RunSingle(uarch.NewSliceSource(ins), warmup, measure)
+	out.victims = rec.victims
+	return out
+}
+
+func runEvent(cfg uarch.Config, polName string, ins []trace.Instr, warmup, measure uint64) sideRun {
+	rec := &victimRecorder{Policy: policy.MustNew(polName)}
+	sys := NewSystem(cfg, rec)
+	var out sideRun
+	sys.SetLLCObserver(func(a trace.Access, hit bool) {
+		out.accesses = append(out.accesses, accessRec{A: a, Hit: hit})
+	})
+	out.result = sys.RunSingle(uarch.NewSliceSource(ins), warmup, measure)
+	out.victims = rec.victims
+	return out
+}
+
+// CrossCheck replays ins (warmup+measure instructions, wrapping) through
+// both engines on a 1-core config and returns the first divergence, or
+// nil when the engines agree byte-for-byte. Streams are compared over
+// the whole run including warmup.
+func CrossCheck(cfg uarch.Config, polName string, ins []trace.Instr, warmup, measure uint64) *Divergence {
+	if cfg.Cores != 1 {
+		panic("event: CrossCheck runs 1-core configs")
+	}
+	if len(ins) == 0 {
+		return nil
+	}
+	l := runLegacy(cfg, polName, ins, warmup, measure)
+	e := runEvent(cfg, polName, ins, warmup, measure)
+
+	if len(l.accesses) != len(e.accesses) {
+		return &Divergence{Kind: "access-count", Index: -1,
+			Legacy: fmt.Sprint(len(l.accesses)), Event: fmt.Sprint(len(e.accesses))}
+	}
+	for i := range l.accesses {
+		if l.accesses[i] != e.accesses[i] {
+			return &Divergence{Kind: "access", Index: i,
+				Legacy: fmt.Sprintf("%+v", l.accesses[i]), Event: fmt.Sprintf("%+v", e.accesses[i])}
+		}
+	}
+	if len(l.victims) != len(e.victims) {
+		return &Divergence{Kind: "victim-count", Index: -1,
+			Legacy: fmt.Sprint(len(l.victims)), Event: fmt.Sprint(len(e.victims))}
+	}
+	for i := range l.victims {
+		if l.victims[i] != e.victims[i] {
+			return &Divergence{Kind: "victim", Index: i,
+				Legacy: fmt.Sprintf("%+v", l.victims[i]), Event: fmt.Sprintf("%+v", e.victims[i])}
+		}
+	}
+	if l.result != e.result {
+		return &Divergence{Kind: "result", Index: -1,
+			Legacy: fmt.Sprintf("%+v", l.result), Event: fmt.Sprintf("%+v", e.result)}
+	}
+	return nil
+}
+
+// Shrink greedily minimizes a diverging instruction stream by deleting
+// chunks of halving size while the divergence persists (the
+// refmodel.Shrink strategy). The returned slice still diverges under
+// CrossCheck with the same warmup/measure.
+func Shrink(cfg uarch.Config, polName string, ins []trace.Instr, warmup, measure uint64) []trace.Instr {
+	return shrinkWith(ins, func(c []trace.Instr) bool {
+		return len(c) > 0 && CrossCheck(cfg, polName, c, warmup, measure) != nil
+	})
+}
+
+// shrinkWith is the predicate-generic shrink loop: delete chunks of
+// halving size as long as pred still holds on the remainder.
+func shrinkWith(ins []trace.Instr, pred func([]trace.Instr) bool) []trace.Instr {
+	cur := append([]trace.Instr(nil), ins...)
+	if !pred(cur) {
+		return cur
+	}
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			cand := append(append([]trace.Instr(nil), cur[:start]...), cur[start+chunk:]...)
+			if pred(cand) {
+				cur = cand
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}

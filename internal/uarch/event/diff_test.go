@@ -1,0 +1,97 @@
+package event
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// captureInstrs pulls n instructions out of a workload generator.
+func captureInstrs(t *testing.T, name string, n int) []trace.Instr {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workloads.New(spec)
+	ins := make([]trace.Instr, n)
+	for i := range ins {
+		ins[i] = gen.Next()
+	}
+	return ins
+}
+
+// TestCrossCheckMatrix is the acceptance gate for the event engine: on
+// 1-core configs, legacy and event executions must agree byte-for-byte —
+// LLC access stream, victim sequence, and Result — across workloads and
+// policies.
+func TestCrossCheckMatrix(t *testing.T) {
+	benches := []string{"429.mcf", "470.lbm", "483.xalancbmk"}
+	pols := []string{"lru", "drrip", "ship", "random"}
+	n, warmup, measure := 40_000, uint64(8_000), uint64(32_000)
+	if testing.Short() {
+		benches = benches[:1]
+		n, warmup, measure = 12_000, 2_000, 10_000
+	}
+	for _, b := range benches {
+		ins := captureInstrs(t, b, n)
+		for _, p := range pols {
+			cfg := uarch.ScaledConfig(1, 8)
+			if d := CrossCheck(cfg, p, ins, warmup, measure); d != nil {
+				t.Errorf("%s/%s: %s", b, p, d)
+			}
+		}
+	}
+}
+
+// TestCrossCheckWithPrefetchers: the differential must also hold with
+// the full Table III prefetcher stack enabled (next-line L1 + KPC-P L2),
+// which exercises the prefetch, pollution-gate, and writeback paths.
+func TestCrossCheckWithPrefetchers(t *testing.T) {
+	ins := captureInstrs(t, "403.gcc", 20_000)
+	cfg := uarch.ScaledConfig(1, 8)
+	cfg.L1NextLine = true
+	cfg.L2Prefetcher = "kpc-p"
+	if d := CrossCheck(cfg, "drrip", ins, 4_000, 16_000); d != nil {
+		t.Errorf("kpc-p config: %s", d)
+	}
+}
+
+// TestShrinkWithMinimizes: the chunk-halving shrinker reduces a stream
+// to a minimal slice still satisfying the predicate.
+func TestShrinkWithMinimizes(t *testing.T) {
+	ins := make([]trace.Instr, 256)
+	for i := range ins {
+		ins[i] = trace.Instr{PC: uint64(i)}
+	}
+	ins[37].Addr = 1
+	ins[201].Addr = 2
+	// Predicate: the slice still contains both marked instructions.
+	pred := func(c []trace.Instr) bool {
+		var one, two bool
+		for _, in := range c {
+			one = one || in.Addr == 1
+			two = two || in.Addr == 2
+		}
+		return one && two
+	}
+	out := shrinkWith(ins, pred)
+	if len(out) != 2 {
+		t.Fatalf("shrunk to %d instructions, want 2", len(out))
+	}
+	if !pred(out) {
+		t.Fatal("shrunk slice no longer satisfies the predicate")
+	}
+}
+
+// TestShrinkNonDivergingReturnsInput: a stream the engines agree on
+// comes back unchanged.
+func TestShrinkNonDivergingReturnsInput(t *testing.T) {
+	ins := captureInstrs(t, "470.lbm", 2_000)
+	out := Shrink(uarch.ScaledConfig(1, 8), "lru", ins, 500, 1_500)
+	if len(out) != len(ins) {
+		t.Fatalf("non-diverging stream shrunk from %d to %d", len(ins), len(out))
+	}
+}

@@ -1,0 +1,396 @@
+package event
+
+import (
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// lvl is the cache-array + MSHR state every memory component carries: a
+// mirror of the legacy level struct, byte-compatible by construction
+// (the cross-check in diff.go is what holds it to that).
+type lvl struct {
+	c        *cache.Cache
+	latency  uint64
+	inflight map[uint64]uint64 // block → ready time
+	mshrs    int
+}
+
+func newLvl(cfg cache.Config, latency uint64, mshrs int) lvl {
+	return lvl{
+		c:        cache.New(cfg),
+		latency:  latency,
+		inflight: make(map[uint64]uint64),
+		mshrs:    mshrs,
+	}
+}
+
+// mshrLookup returns the in-flight ready time for addr's block, if any.
+func (l *lvl) mshrLookup(addr, now uint64) (uint64, bool) {
+	ready, ok := l.inflight[addr>>6]
+	if !ok {
+		return 0, false
+	}
+	if ready <= now {
+		delete(l.inflight, addr>>6)
+		return 0, false
+	}
+	return ready, true
+}
+
+// mshrInsert records an in-flight miss, sweeping already-completed
+// entries (ready <= now) under pressure — a value-conditioned sweep so
+// map iteration order never picks which entry survives.
+func (l *lvl) mshrInsert(addr, now, ready uint64) {
+	if len(l.inflight) >= l.mshrs {
+		for k, v := range l.inflight {
+			if v <= now {
+				delete(l.inflight, k)
+			}
+		}
+		if len(l.inflight) >= 4*l.mshrs {
+			l.inflight = make(map[uint64]uint64)
+		}
+	}
+	l.inflight[addr>>6] = ready
+}
+
+// lruVictim selects the least recently used way of a full set.
+func lruVictim(set *cache.Set) int {
+	best, bestRec := 0, int(^uint(0)>>1)
+	for w := range set.Lines {
+		if r := int(set.Lines[w].Recency); r < bestRec {
+			best, bestRec = w, r
+		}
+	}
+	return best
+}
+
+// l1C is a private first-level cache component (one per core, in both
+// instruction and data roles). The data role additionally runs the
+// next-line prefetcher.
+type l1C struct {
+	ComponentBase
+	lvl
+	core     int
+	nextLine bool  // data role: issue next-line prefetches
+	down     *Port // to the core's L2
+}
+
+func newL1C(name string, engine *Engine, hook obs.Hook, core int, cfg cache.Config, latency uint64, mshrs int, nextLine bool) *l1C {
+	c := &l1C{
+		ComponentBase: newComponentBase(name, engine, hook),
+		lvl:           newLvl(cfg, latency, mshrs),
+		core:          core,
+		nextLine:      nextLine,
+	}
+	c.down = NewPort(c, "down")
+	return c
+}
+
+// Transact resolves a fetch (instruction role: Load at PC) or a demand
+// load/RFO (data role) against this level, escalating misses down.
+func (l *l1C) Transact(req MemReq) MemRsp {
+	a := trace.Access{PC: req.PC, Addr: req.Addr, Type: req.Type, Core: uint8(req.Core)}
+	setIdx, way, hit := l.c.Probe(req.Addr)
+
+	if l.nextLine {
+		for _, pa := range (uarch.NextLine{}).OnAccess(req.PC, req.Addr, hit) {
+			l.prefetch(req.PC, pa, req.Now)
+		}
+	}
+
+	if hit {
+		l.c.RecordHit(setIdx, way, a)
+		l.emit(obs.EvHit, a, 0, setIdx, way)
+		return MemRsp{Done: req.Now + l.latency}
+	}
+	l.emit(obs.EvMiss, a, 0, setIdx, -1)
+	var done uint64
+	if ready, ok := l.mshrLookup(req.Addr, req.Now); ok {
+		done = ready
+	} else {
+		done = l.down.Transact(MemReq{
+			Core: req.Core, PC: req.PC, Addr: req.Addr, Type: req.Type,
+			Now: req.Now + l.latency,
+		}).Done
+		l.mshrInsert(req.Addr, req.Now, done)
+	}
+	l.fill(req.Core, req.Addr, req.PC, req.Type)
+	return MemRsp{Done: done}
+}
+
+// prefetch brings addr into this level off the critical path.
+func (l *l1C) prefetch(pc, addr, now uint64) {
+	if _, _, hit := l.c.Probe(addr); hit {
+		return
+	}
+	if _, ok := l.mshrLookup(addr, now); ok {
+		return
+	}
+	done := l.down.Transact(MemReq{
+		Core: l.core, PC: pc, Addr: addr, Type: trace.Prefetch,
+		Now: now + l.latency,
+	}).Done
+	l.mshrInsert(addr, now, done)
+	l.fill(l.core, addr, pc, trace.Prefetch)
+}
+
+// fill installs addr (LRU victim), cascading a dirty victim down as a
+// writeback.
+func (l *l1C) fill(core int, addr, pc uint64, ty trace.AccessType) {
+	a := trace.Access{PC: pc, Addr: addr, Type: ty, Core: uint8(core)}
+	setIdx, _, hit := l.c.Probe(addr)
+	if hit {
+		return
+	}
+	l.c.RecordMissTouch(setIdx)
+	way := l.c.InvalidWay(setIdx)
+	if way < 0 {
+		way = lruVictim(l.c.Set(setIdx))
+	}
+	victim := l.c.Fill(setIdx, way, a)
+	l.emit(obs.EvFill, a, 0, setIdx, way)
+	if victim.Valid && victim.Dirty {
+		l.down.Transact(MemReq{
+			Core: core, Addr: victim.Block << 6, Type: trace.Writeback,
+		})
+	}
+}
+
+// l2C is a private second-level cache component with the configured L2
+// prefetcher (Table III).
+type l2C struct {
+	ComponentBase
+	lvl
+	core int
+	pf   uarch.Prefetcher
+	kpcp *uarch.KPCP // non-nil when the prefetcher is KPC-P
+	down *Port       // to the shared LLC
+}
+
+func newL2C(name string, engine *Engine, hook obs.Hook, core int, cfg cache.Config, latency uint64, mshrs int, pf uarch.Prefetcher) *l2C {
+	c := &l2C{
+		ComponentBase: newComponentBase(name, engine, hook),
+		lvl:           newLvl(cfg, latency, mshrs),
+		core:          core,
+		pf:            pf,
+	}
+	if k, ok := pf.(*uarch.KPCP); ok {
+		c.kpcp = k
+	}
+	c.down = NewPort(c, "down")
+	return c
+}
+
+// Transact resolves a demand access, an L1 prefetch escalation, or an L1
+// victim writeback against this level.
+func (l *l2C) Transact(req MemReq) MemRsp {
+	if req.Type == trace.Writeback {
+		l.wbFromL1(req)
+		return MemRsp{}
+	}
+	setIdx, way, hit := l.c.Probe(req.Addr)
+
+	// Train the L2 prefetcher on demand traffic and issue its prefetches.
+	if req.Type.IsDemand() {
+		for _, pa := range l.pf.OnAccess(req.PC, req.Addr, hit) {
+			l.prefetch(req.PC, pa, req.Now)
+		}
+	}
+
+	if hit {
+		a := trace.Access{PC: req.PC, Addr: req.Addr, Type: req.Type, Core: uint8(req.Core)}
+		l.c.RecordHit(setIdx, way, a)
+		l.emit(obs.EvHit, a, 0, setIdx, way)
+		return MemRsp{Done: req.Now + l.latency}
+	}
+	l.emit(obs.EvMiss, trace.Access{PC: req.PC, Addr: req.Addr, Type: req.Type, Core: uint8(req.Core)}, 0, setIdx, -1)
+	var done uint64
+	if ready, ok := l.mshrLookup(req.Addr, req.Now); ok {
+		done = ready
+	} else {
+		done = l.down.Transact(MemReq{
+			Core: req.Core, PC: req.PC, Addr: req.Addr, Type: req.Type,
+			Now: req.Now + l.latency,
+		}).Done
+		l.mshrInsert(req.Addr, req.Now, done)
+	}
+	l.fill(req.Core, req.Addr, req.PC, req.Type)
+	return MemRsp{Done: done}
+}
+
+// wbFromL1 absorbs an L1D victim: a hit marks the line dirty, a miss
+// allocates without a fetch (the victim carries the full line).
+func (l *l2C) wbFromL1(req MemReq) {
+	setIdx, way, hit := l.c.Probe(req.Addr)
+	a := trace.Access{Addr: req.Addr, Type: trace.Writeback, Core: uint8(req.Core)}
+	if hit {
+		l.c.RecordHit(setIdx, way, a)
+		return
+	}
+	l.c.RecordMissTouch(setIdx)
+	way = l.c.InvalidWay(setIdx)
+	if way < 0 {
+		way = lruVictim(l.c.Set(setIdx))
+	}
+	victim := l.c.Fill(setIdx, way, a)
+	if victim.Valid && victim.Dirty {
+		// L2 victim → LLC writeback, off the critical path (time 0).
+		l.down.Transact(MemReq{
+			Core: req.Core, Addr: victim.Block << 6, Type: trace.Writeback,
+		})
+	}
+}
+
+// prefetch issues one L2 prefetch: always at least into the LLC, into L2
+// unless the KPC-P pollution gate rejects it.
+func (l *l2C) prefetch(pc, addr, now uint64) {
+	if _, _, hit := l.c.Probe(addr); hit {
+		return
+	}
+	if _, ok := l.mshrLookup(addr, now); ok {
+		return // already in flight
+	}
+	done := l.down.Transact(MemReq{
+		Core: l.core, PC: pc, Addr: addr, Type: trace.Prefetch,
+		Now: now + l.latency,
+	}).Done
+	l.mshrInsert(addr, now, done)
+	if l.kpcp != nil && !l.kpcp.FillL2(addr) {
+		return // low confidence stays out of L2
+	}
+	l.fill(l.core, addr, pc, trace.Prefetch)
+}
+
+// fill installs addr (LRU victim), cascading a dirty victim to the LLC.
+func (l *l2C) fill(core int, addr, pc uint64, ty trace.AccessType) {
+	a := trace.Access{PC: pc, Addr: addr, Type: ty, Core: uint8(core)}
+	setIdx, _, hit := l.c.Probe(addr)
+	if hit {
+		return
+	}
+	l.c.RecordMissTouch(setIdx)
+	way := l.c.InvalidWay(setIdx)
+	if way < 0 {
+		way = lruVictim(l.c.Set(setIdx))
+	}
+	victim := l.c.Fill(setIdx, way, a)
+	l.emit(obs.EvFill, a, 0, setIdx, way)
+	if victim.Valid && victim.Dirty {
+		l.down.Transact(MemReq{
+			Core: core, Addr: victim.Block << 6, Type: trace.Writeback,
+		})
+	}
+}
+
+// llcC is the shared last-level cache component: the one level whose
+// replacement policy is pluggable, whose statistics the experiments
+// read, and whose access stream the observer and the cross-check see.
+type llcC struct {
+	ComponentBase
+	lvl
+	pol      policy.Policy
+	seq      uint64
+	stats    uarch.LLCStats
+	observer uarch.LLCObserver
+	dram     *Port
+}
+
+func newLLC(name string, engine *Engine, hook obs.Hook, cfg cache.Config, latency uint64, mshrs int, pol policy.Policy) *llcC {
+	c := &llcC{
+		ComponentBase: newComponentBase(name, engine, hook),
+		lvl:           newLvl(cfg, latency, mshrs),
+		pol:           pol,
+	}
+	c.dram = NewPort(c, "dram")
+	return c
+}
+
+// Transact performs one LLC access, driving the replacement policy and
+// the observer, mirroring the legacy accessLLC decision-for-decision.
+func (l *llcC) Transact(req MemReq) MemRsp {
+	a := trace.Access{PC: req.PC, Addr: req.Addr, Type: req.Type, Core: uint8(req.Core)}
+	ctx := policy.AccessCtx{Access: a, Seq: l.seq}
+	l.seq++
+
+	setIdx, way, hit := l.c.Probe(req.Addr)
+	ctx.SetIdx = setIdx
+	set := l.c.Set(setIdx)
+
+	l.stats.Accesses++
+	l.stats.ByType[req.Type]++
+	if l.observer != nil {
+		l.observer(a, hit)
+	}
+
+	if hit {
+		l.stats.Hits++
+		l.stats.HitsByType[req.Type]++
+		if req.Type.IsDemand() {
+			l.stats.DemandHits++
+		}
+		l.c.RecordHit(setIdx, way, a)
+		l.pol.Update(ctx, set, way, true)
+		l.emit(obs.EvHit, a, ctx.Seq, setIdx, way)
+		return MemRsp{Done: req.Now + l.latency}
+	}
+	l.emit(obs.EvMiss, a, ctx.Seq, setIdx, -1)
+	if req.Type != trace.Writeback {
+		// Merged miss: the block is already being fetched — timing only.
+		if ready, ok := l.mshrLookup(req.Addr, req.Now); ok {
+			return MemRsp{Done: ready}
+		}
+	}
+	if req.Type.IsDemand() {
+		l.stats.DemandMisses++
+	}
+	l.c.RecordMissTouch(setIdx)
+
+	done := req.Now + l.latency
+	if req.Type != trace.Writeback {
+		// Fetch from memory (writeback misses allocate without a read).
+		done = l.dram.Transact(MemReq{Now: req.Now + l.latency}).Done
+		l.mshrInsert(req.Addr, req.Now, done)
+	}
+
+	way = l.c.InvalidWay(setIdx)
+	if way < 0 {
+		way = l.pol.Victim(ctx, set)
+	}
+	if way == policy.Bypass {
+		return MemRsp{Done: done}
+	}
+	victim := l.c.Fill(setIdx, way, a)
+	if victim.Valid && victim.Dirty {
+		l.dram.Transact(MemReq{Type: trace.Writeback})
+	}
+	l.pol.Update(ctx, set, way, false)
+	l.emit(obs.EvFill, a, ctx.Seq, setIdx, way)
+	return MemRsp{Done: done}
+}
+
+// dramC terminates the hierarchy: a fixed-latency memory that counts the
+// writeback traffic reaching it.
+type dramC struct {
+	ComponentBase
+	latency  uint64
+	reads    uint64
+	wbToDRAM uint64
+}
+
+func newDRAM(name string, engine *Engine, hook obs.Hook, latency uint64) *dramC {
+	return &dramC{ComponentBase: newComponentBase(name, engine, hook), latency: latency}
+}
+
+// Transact serves a fetch (fixed latency) or absorbs a writeback.
+func (d *dramC) Transact(req MemReq) MemRsp {
+	if req.Type == trace.Writeback {
+		d.wbToDRAM++
+		return MemRsp{}
+	}
+	d.reads++
+	return MemRsp{Done: req.Now + d.latency}
+}

@@ -1,0 +1,66 @@
+package event
+
+// eventQueue is a binary min-heap of events ordered by (time, insertion
+// sequence). The sequence tiebreak makes same-tick dispatch FIFO in
+// Schedule order — the determinism guarantee the engine documents and
+// the property tests pin.
+type eventQueue struct {
+	items []queuedEvent
+	seq   uint64
+}
+
+type queuedEvent struct {
+	ev  Event
+	seq uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(a, b queuedEvent) bool {
+	if at, bt := a.ev.Time(), b.ev.Time(); at != bt {
+		return at < bt
+	}
+	return a.seq < b.seq
+}
+
+// Push inserts ev, stamping it with the next insertion sequence number.
+func (q *eventQueue) Push(ev Event) {
+	q.items = append(q.items, queuedEvent{ev: ev, seq: q.seq})
+	q.seq++
+	// Sift up.
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event.
+func (q *eventQueue) Pop() Event {
+	top := q.items[0].ev
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = queuedEvent{} // release the Event for GC
+	q.items = q.items[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.items) && q.less(q.items[l], q.items[smallest]) {
+			smallest = l
+		}
+		if r < len(q.items) && q.less(q.items[r], q.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

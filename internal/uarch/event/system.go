@@ -1,0 +1,166 @@
+package event
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/uarch"
+)
+
+// System assembles the component graph — N cores, per-core L1I/L1D/L2,
+// one shared LLC, one DRAM — on an Engine and runs instruction streams
+// through it. It is the event-driven counterpart of uarch.System: on
+// 1-core configs the two produce byte-identical results (IPC, LLCStats,
+// LLC victim sequence — see CrossCheck), while N-core runs here use an
+// exact per-instruction smallest-local-time interleave instead of the
+// legacy quantum-64 approximation.
+//
+// The obs hook is picked up from obs.GlobalHook at construction (the
+// cachesim pattern), so `-trace jsonl:...`/`ring:` sinks see per-
+// component event streams tagged with the component name.
+type System struct {
+	cfg    uarch.Config
+	engine *Engine
+	cores  []*coreC
+	l1i    []*l1C
+	l1d    []*l1C
+	l2     []*l2C
+	llc    *llcC
+	dram   *dramC
+}
+
+// NewSystem builds the component graph for cfg with the given LLC
+// replacement policy (nil selects LRU).
+func NewSystem(cfg uarch.Config, pol policy.Policy) *System {
+	if pol == nil {
+		pol = policy.MustNew("lru")
+	}
+	hook := obs.GlobalHook()
+	e := NewEngine()
+	s := &System{cfg: cfg, engine: e}
+
+	s.dram = newDRAM("dram", e, hook, cfg.DRAMLatency)
+	s.llc = newLLC("llc", e, hook, cfg.LLC, cfg.LLCLatency, cfg.MSHRs*cfg.Cores, pol)
+	s.llc.dram.Connect(s.dram)
+	pol.Init(policy.Config{Config: cfg.LLC, NumCores: cfg.Cores})
+
+	for i := 0; i < cfg.Cores; i++ {
+		pfx := fmt.Sprintf("core%d.", i)
+		l2 := newL2C(pfx+"l2", e, hook, i, cfg.L2, cfg.L2Latency, cfg.MSHRs,
+			uarch.NewPrefetcher(cfg.L2Prefetcher))
+		l2.down.Connect(s.llc)
+		l1i := newL1C(pfx+"l1i", e, hook, i, cfg.L1I, cfg.L1ILatency, cfg.MSHRs, false)
+		l1i.down.Connect(l2)
+		l1d := newL1C(pfx+"l1d", e, hook, i, cfg.L1D, cfg.L1DLatency, cfg.MSHRs, cfg.L1NextLine)
+		l1d.down.Connect(l2)
+		core := newCoreC(fmt.Sprintf("core%d", i), e, hook, i, cfg)
+		core.iPort.Connect(l1i)
+		core.dPort.Connect(l1d)
+		s.l2 = append(s.l2, l2)
+		s.l1i = append(s.l1i, l1i)
+		s.l1d = append(s.l1d, l1d)
+		s.cores = append(s.cores, core)
+	}
+	return s
+}
+
+// Engine exposes the event engine (hooks, event counts).
+func (s *System) Engine() *Engine { return s.engine }
+
+// Stats returns the accumulated shared-LLC statistics.
+func (s *System) Stats() uarch.LLCStats { return s.llc.stats }
+
+// WBToDRAM returns the count of dirty LLC victims written back to memory.
+func (s *System) WBToDRAM() uint64 { return s.dram.wbToDRAM }
+
+// SetLLCObserver installs fn on the LLC access path (nil to remove).
+func (s *System) SetLLCObserver(fn uarch.LLCObserver) { s.llc.observer = fn }
+
+// Policy returns the LLC replacement policy instance.
+func (s *System) Policy() policy.Policy { return s.llc.pol }
+
+// KPCPFor returns the core's KPC-P engine, or nil when another
+// prefetcher is configured (KPC-R wires its Confidence callback here).
+func (s *System) KPCPFor(core int) *uarch.KPCP { return s.l2[core].kpcp }
+
+// runPhase schedules one step event per participating core and drains
+// the engine; every core re-schedules itself until its budget is spent,
+// so the engine interleaves cores by exact local time with insertion-
+// order (round-robin) tie-breaking.
+func (s *System) runPhase(srcs []uarch.InstrSource, count uint64) {
+	if count == 0 {
+		return
+	}
+	for i, c := range s.cores {
+		if srcs[i] == nil {
+			continue
+		}
+		c.src = srcs[i]
+		c.remaining = count
+		s.engine.Schedule(stepEvent{NewEventBase(VTime(c.lastRetire), c)})
+	}
+	s.engine.Run()
+}
+
+// RunSingle drives core 0 for warmup+measure instructions from src and
+// returns the measured-window result, byte-identical to the legacy
+// System.RunSingle.
+func (s *System) RunSingle(src uarch.InstrSource, warmup, measure uint64) uarch.Result {
+	srcs := make([]uarch.InstrSource, len(s.cores))
+	srcs[0] = src
+	s.runPhase(srcs, warmup)
+	c := s.cores[0]
+	startCycles := c.lastRetire
+	startStats := s.llc.stats
+	s.runPhase(srcs, measure)
+	st := diffStats(s.llc.stats, startStats)
+	return uarch.Result{
+		Instructions: measure,
+		Cycles:       c.lastRetire - startCycles,
+		LLCStats:     st,
+		DemandMPKI:   1000 * float64(st.DemandMisses) / float64(measure),
+	}
+}
+
+// RunMulti drives all cores, each from its own source, for
+// warmup+measure instructions per core, interleaved per instruction by
+// smallest local time. Results are per core; LLCStats and DemandMPKI in
+// each entry cover the whole measurement window across cores.
+func (s *System) RunMulti(srcs []uarch.InstrSource, warmup, measure uint64) []uarch.Result {
+	if len(srcs) != len(s.cores) {
+		panic("event: RunMulti needs one source per core")
+	}
+	s.runPhase(srcs, warmup)
+	n := len(s.cores)
+	startCycles := make([]uint64, n)
+	for i, c := range s.cores {
+		startCycles[i] = c.lastRetire
+	}
+	startStats := s.llc.stats
+	s.runPhase(srcs, measure)
+	st := diffStats(s.llc.stats, startStats)
+	out := make([]uarch.Result, n)
+	for i, c := range s.cores {
+		out[i] = uarch.Result{
+			Instructions: measure,
+			Cycles:       c.lastRetire - startCycles[i],
+			LLCStats:     st,
+			DemandMPKI:   1000 * float64(st.DemandMisses) / float64(measure*uint64(n)),
+		}
+	}
+	return out
+}
+
+func diffStats(a, b uarch.LLCStats) uarch.LLCStats {
+	var d uarch.LLCStats
+	d.Accesses = a.Accesses - b.Accesses
+	d.Hits = a.Hits - b.Hits
+	d.DemandHits = a.DemandHits - b.DemandHits
+	d.DemandMisses = a.DemandMisses - b.DemandMisses
+	for i := range d.ByType {
+		d.ByType[i] = a.ByType[i] - b.ByType[i]
+		d.HitsByType[i] = a.HitsByType[i] - b.HitsByType[i]
+	}
+	return d
+}

@@ -1,0 +1,149 @@
+package event
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func mixSources(t *testing.T, names []string) []uarch.InstrSource {
+	t.Helper()
+	srcs := make([]uarch.InstrSource, len(names))
+	for i, n := range names {
+		spec, err := workloads.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = workloads.New(spec)
+	}
+	return srcs
+}
+
+// TestRunMultiDeterministic: the exact smallest-local-time interleave is
+// byte-identical across repeated runs.
+func TestRunMultiDeterministic(t *testing.T) {
+	run := func() []uarch.Result {
+		cfg := uarch.ScaledConfig(4, 16)
+		return NewSystem(cfg, policy.MustNew("drrip")).
+			RunMulti(mixSources(t, []string{"429.mcf", "470.lbm", "403.gcc", "450.soplex"}), 2_000, 10_000)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event RunMulti not deterministic: core %d %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunMultiSymmetricCoreOrderInvariant: with identical sources on
+// every core, the per-core result vector must not depend on the order
+// the (identical) sources were constructed and assigned — relabeling
+// cores of a symmetric run is a no-op. (Per-core results do differ from
+// each other: cores interact through shared-LLC state, e.g. core 0's
+// miss fills the block core 1 then hits.)
+func TestRunMultiSymmetricCoreOrderInvariant(t *testing.T) {
+	run := func(order []int) []uarch.Result {
+		cfg := uarch.ScaledConfig(4, 16)
+		spec, err := workloads.ByName("429.mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs := make([]uarch.InstrSource, 4)
+		for _, i := range order {
+			srcs[i] = workloads.New(spec)
+		}
+		return NewSystem(cfg, policy.MustNew("lru")).RunMulti(srcs, 1_000, 8_000)
+	}
+	a := run([]int{0, 1, 2, 3})
+	b := run([]int{3, 2, 1, 0})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("symmetric RunMulti depends on source construction order: core %d %+v vs %+v",
+				i, a[i], b[i])
+		}
+	}
+}
+
+// TestEightCoreRunCompletes: an 8-core mix completes with per-core
+// results and shared-LLC contention visible in the stats.
+func TestEightCoreRunCompletes(t *testing.T) {
+	names := []string{"429.mcf", "470.lbm", "403.gcc", "450.soplex",
+		"483.xalancbmk", "471.omnetpp", "437.leslie3d", "459.GemsFDTD"}
+	cfg := uarch.ScaledConfig(8, 16)
+	sys := NewSystem(cfg, policy.MustNew("drrip"))
+	res := sys.RunMulti(mixSources(t, names), 1_000, 4_000)
+	if len(res) != 8 {
+		t.Fatalf("got %d results, want 8", len(res))
+	}
+	for i, r := range res {
+		if r.Cycles == 0 || r.IPC() <= 0 {
+			t.Errorf("core %d: empty result %+v", i, r)
+		}
+	}
+	st := sys.Stats()
+	if st.Accesses == 0 || st.DemandMisses == 0 {
+		t.Errorf("no shared-LLC traffic recorded: %+v", st)
+	}
+	if sys.Engine().EventCount() < 8*5_000 {
+		t.Errorf("event count %d below one event per instruction", sys.Engine().EventCount())
+	}
+}
+
+// countingHook tallies per-component event streams.
+type countingHook struct {
+	byComponent map[string]int
+}
+
+func (h *countingHook) OnCacheEvent(e *obs.CacheEvent) { h.byComponent[e.Policy]++ }
+
+// TestObsHookSeesPerComponentStreams: with a global obs hook installed,
+// every memory component emits tagged cache events — and observing must
+// not perturb the simulation (byte-identical Result with the hook on).
+func TestObsHookSeesPerComponentStreams(t *testing.T) {
+	run := func(hook *countingHook) uarch.Result {
+		if hook != nil {
+			obs.SetGlobalHook(hook)
+			defer obs.SetGlobalHook(nil)
+		}
+		spec, err := workloads.ByName("429.mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := NewSystem(uarch.ScaledConfig(1, 16), policy.MustNew("lru"))
+		return sys.RunSingle(workloads.New(spec), 1_000, 6_000)
+	}
+	plain := run(nil)
+	h := &countingHook{byComponent: map[string]int{}}
+	hooked := run(h)
+	if plain != hooked {
+		t.Fatalf("obs hook perturbed the run: %+v vs %+v", plain, hooked)
+	}
+	for _, comp := range []string{"core0.l1i", "core0.l1d", "core0.l2", "llc"} {
+		if h.byComponent[comp] == 0 {
+			t.Errorf("component %s emitted no cache events", comp)
+		}
+	}
+}
+
+// TestRunSingleQuantumIndependence: a 1-core event run must match the
+// legacy engine regardless of the legacy quantum machinery — RunSingle
+// through RunMulti-with-one-core must also agree.
+func TestRunSingleMatchesOneCoreRunMulti(t *testing.T) {
+	mk := func() (*System, uarch.InstrSource) {
+		spec, err := workloads.ByName("429.mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewSystem(uarch.ScaledConfig(1, 16), policy.MustNew("lru")), workloads.New(spec)
+	}
+	s1, src1 := mk()
+	r1 := s1.RunSingle(src1, 1_000, 8_000)
+	s2, src2 := mk()
+	r2 := s2.RunMulti([]uarch.InstrSource{src2}, 1_000, 8_000)[0]
+	if r1 != r2 {
+		t.Fatalf("RunSingle %+v != 1-core RunMulti %+v", r1, r2)
+	}
+}

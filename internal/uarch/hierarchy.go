@@ -42,13 +42,14 @@ func (l *level) mshrLookup(addr, now uint64) (uint64, bool) {
 }
 
 // mshrInsert records an in-flight miss. Under pressure the table drops
-// every already-completed entry — a value-conditioned sweep, so the
-// timing model stays deterministic (map iteration order must never pick
-// which entry survives).
-func (l *level) mshrInsert(addr, ready uint64) {
+// every already-completed entry (ready <= now) — a value-conditioned
+// sweep, so the timing model stays deterministic (map iteration order
+// must never pick which entry survives) and still-in-flight entries are
+// never lost to a later miss's insert.
+func (l *level) mshrInsert(addr, now, ready uint64) {
 	if len(l.inflight) >= l.mshrs {
 		for k, v := range l.inflight {
-			if v <= ready {
+			if v <= now {
 				delete(l.inflight, k)
 			}
 		}
@@ -164,6 +165,15 @@ func (h *Hierarchy) accessLLC(core int, pc, addr uint64, ty trace.AccessType, no
 		h.pol.Update(ctx, set, way, true)
 		return now + h.llc.latency
 	}
+	if ty != trace.Writeback {
+		// Merged miss: the block is already being fetched. The access
+		// counts (and the observer has fired), but it must not re-drive
+		// the replacement policy or re-count the demand miss — one
+		// outstanding fetch performs exactly one fill.
+		if ready, ok := h.llc.mshrLookup(addr, now); ok {
+			return ready
+		}
+	}
 	if ty.IsDemand() {
 		h.stats.DemandMisses++
 	}
@@ -173,12 +183,8 @@ func (h *Hierarchy) accessLLC(core int, pc, addr uint64, ty trace.AccessType, no
 	if ty != trace.Writeback {
 		// Fetch from memory (writeback misses allocate without a read:
 		// the evicted L2 line carries the full data).
-		if ready, ok := h.llc.mshrLookup(addr, now); ok {
-			done = ready
-		} else {
-			done = now + h.llc.latency + h.cfg.DRAMLatency
-			h.llc.mshrInsert(addr, done)
-		}
+		done = now + h.llc.latency + h.cfg.DRAMLatency
+		h.llc.mshrInsert(addr, now, done)
 	}
 
 	way = h.llc.c.InvalidWay(setIdx)
@@ -220,7 +226,7 @@ func (h *Hierarchy) accessL2(core int, pc, addr uint64, ty trace.AccessType, now
 		done = ready
 	} else {
 		done = h.accessLLC(core, pc, addr, ty, now+l2.latency)
-		l2.mshrInsert(addr, done)
+		l2.mshrInsert(addr, now, done)
 	}
 	h.fillLevel(core, l2, addr, pc, ty)
 	return done
@@ -288,7 +294,7 @@ func (h *Hierarchy) issueL2Prefetch(core int, pc, addr uint64, now uint64) {
 		return // already in flight
 	}
 	done := h.accessLLC(core, pc, addr, trace.Prefetch, now+l2.latency)
-	l2.mshrInsert(addr, done)
+	l2.mshrInsert(addr, now, done)
 	if h.kpcp[core] != nil && !h.kpcp[core].FillL2(addr) {
 		return // KPC-P pollution gate: low confidence stays out of L2
 	}
@@ -322,7 +328,7 @@ func (h *Hierarchy) AccessData(core int, pc, addr uint64, store bool, now uint64
 		done = ready
 	} else {
 		done = h.accessL2(core, pc, addr, ty, now+l1.latency)
-		l1.mshrInsert(addr, done)
+		l1.mshrInsert(addr, now, done)
 	}
 	h.fillLevel(core, l1, addr, pc, ty)
 	return done
@@ -339,7 +345,7 @@ func (h *Hierarchy) issueL1Prefetch(core int, pc, addr uint64, now uint64) {
 		return
 	}
 	done := h.accessL2(core, pc, addr, trace.Prefetch, now+l1.latency)
-	l1.mshrInsert(addr, done)
+	l1.mshrInsert(addr, now, done)
 	h.fillLevel(core, l1, addr, pc, trace.Prefetch)
 }
 
@@ -357,7 +363,7 @@ func (h *Hierarchy) AccessInstr(core int, pc uint64, now uint64) uint64 {
 		done = ready
 	} else {
 		done = h.accessL2(core, pc, pc, trace.Load, now+l1.latency)
-		l1.mshrInsert(pc, done)
+		l1.mshrInsert(pc, now, done)
 	}
 	h.fillLevel(core, l1, pc, pc, trace.Load)
 	return done

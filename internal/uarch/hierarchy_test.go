@@ -3,6 +3,7 @@ package uarch
 import (
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -128,6 +129,115 @@ func TestKPCPPollutionGate(t *testing.T) {
 	_, _, inL2 := h.l2[0].c.Probe(pfAddr)
 	if inLLC && inL2 && !kp.FillL2(pfAddr) {
 		t.Error("low-confidence prefetch installed in L2 despite the gate")
+	}
+}
+
+// TestLLCMergedMissUpdatesTimingOnly: an LLC miss whose block is already in
+// flight (MSHR hit) must merge into the outstanding fetch — completing at
+// the original fetch's ready time without re-driving the replacement policy
+// (no second fill) and without double-counting the demand miss. Regression:
+// accessLLC used to fall through to RecordMissTouch → Victim/Fill/Update on
+// merged misses, so one memory fetch could fill twice.
+func TestLLCMergedMissUpdatesTimingOnly(t *testing.T) {
+	cfg := DefaultConfig(1)
+	// Tiny 2x2 LLC so two conflicting fills evict the in-flight block while
+	// its fetch is still outstanding.
+	cfg.LLC = cache.Config{Sets: 2, Ways: 2, LineSize: 64}
+	h := NewHierarchy(cfg, nil)
+	// Block A misses at t=0: fills, MSHR entry ready at LLCLatency+DRAMLatency.
+	a := uint64(0)
+	done1 := h.accessLLC(0, 1, a, trace.Load, 0)
+	// Two conflicting blocks in set 0 (2 sets, 64B lines: stride 128B) evict A.
+	h.accessLLC(0, 1, 0x80, trace.Load, 1)
+	h.accessLLC(0, 1, 0x100, trace.Load, 2)
+	if _, _, hit := h.llc.c.Probe(a); hit {
+		t.Fatal("test setup broken: block A still resident after two conflicting fills")
+	}
+	before := h.Stats()
+	// A misses again inside the DRAM latency window: must merge.
+	done2 := h.accessLLC(0, 1, a, trace.Load, 3)
+	after := h.Stats()
+	if done2 != done1 {
+		t.Errorf("merged miss completes at %d, want the original fetch's %d", done2, done1)
+	}
+	if after.DemandMisses != before.DemandMisses {
+		t.Errorf("merged miss double-counted: demand misses %d -> %d",
+			before.DemandMisses, after.DemandMisses)
+	}
+	if after.Accesses != before.Accesses+1 {
+		t.Errorf("merged miss must still count as an LLC access: %d -> %d",
+			before.Accesses, after.Accesses)
+	}
+	if _, _, hit := h.llc.c.Probe(a); hit {
+		t.Error("merged miss re-filled the block (policy re-driven for one fetch)")
+	}
+}
+
+// TestMSHRPressureSweepKeepsInflight: the pressure sweep in mshrInsert must
+// drop only entries that have already completed (ready <= now), never
+// entries that merely complete before the new miss. Regression: the sweep
+// compared against the new miss's future ready time, dropping every
+// still-in-flight entry and re-charging later merges full DRAM latency.
+func TestMSHRPressureSweepKeepsInflight(t *testing.T) {
+	l := newLevel(cache.Config{Sets: 2, Ways: 2, LineSize: 64}, 4, 4)
+	// Four in-flight fetches completing at t=100.
+	for i := uint64(0); i < 4; i++ {
+		l.mshrInsert(i<<6, 0, 100)
+	}
+	// A fifth miss at t=10 completing far in the future: the table is at its
+	// MSHR bound, but none of the resident entries has completed yet.
+	l.mshrInsert(5<<6, 10, 500)
+	if _, ok := l.mshrLookup(1<<6, 50); !ok {
+		t.Error("in-flight MSHR entry dropped by the pressure sweep")
+	}
+	// Entries that HAVE completed are swept: re-fill the table at t=200
+	// (after the first four completed) and check one of them is gone.
+	l.mshrInsert(6<<6, 200, 700)
+	if _, ok := l.inflight[2]; ok {
+		t.Error("completed MSHR entry survived a pressure sweep")
+	}
+}
+
+// TestInstrFetchMergeNearReadyStaysSane: an L1I fetch that merges into an
+// in-flight miss completing less than L1ILatency cycles later must not
+// move the issue point backward. Regression: the penalty was computed as
+// done-issue-L1ILatency in uint64; when 0 < done-issue < L1ILatency the
+// wraparound landed issue on done-L1ILatency — *earlier* than it was — so
+// the instruction (and any load it carries) issued before its own
+// ROB/width-constrained slot.
+func TestInstrFetchMergeNearReadyStaysSane(t *testing.T) {
+	cfg := DefaultConfig(1)
+	sys := NewSystem(cfg, nil)
+	c := sys.cores[0]
+	pc := uint64(0x400000)
+	data := uint64(0x900000)
+	// Prime the load's block into L1D so its timing below is a pure L1 hit.
+	sys.h.AccessData(0, pc, data, false, 0)
+	// First fetch at t=0 misses everywhere: in flight until ~L1+L2+LLC+DRAM.
+	c.step(sys.h, 0, trace.Instr{PC: pc, Kind: trace.MemNone})
+	ready, ok := sys.h.l1i[0].inflight[pc>>6]
+	if !ok {
+		t.Fatal("first fetch left no MSHR entry")
+	}
+	// Evict the block from L1I (it filled at miss time) and reset the
+	// core's fetch block so the next step re-fetches.
+	sys.h.l1i[0].c.Invalidate(pc)
+	c.fetchBlock = ^uint64(0)
+	// Re-issue the fetch 2 cycles before the in-flight entry's ready time:
+	// the merged done-issue gap is below L1ILatency, so the fetch must not
+	// stall issue — and must not pull it backward either.
+	issue := ready - 2
+	c.issued = c.width * issue // forces issue = ready-2
+	c.retire = make([]uint64, cfg.ROBSize)
+	c.lastRetire = issue
+	c.step(sys.h, 0, trace.Instr{PC: pc, Addr: data, Kind: trace.MemLoad})
+	if want := issue + cfg.L1DLatency; c.lastLoad != want {
+		t.Errorf("load after near-ready fetch merge completed at %d, want %d (issue must not move backward)",
+			c.lastLoad, want)
+	}
+	if c.lastRetire > ready+cfg.L1ILatency+1 {
+		t.Errorf("near-ready fetch merge exploded: retire %d, fetch was ready at %d",
+			c.lastRetire, ready)
 	}
 }
 

@@ -59,6 +59,9 @@ func newCoreState(width, rob int) *coreState {
 		width:   uint64(width),
 		robSize: rob,
 		retire:  make([]uint64, rob),
+		// No block fetched yet: an impossible sentinel, so the first
+		// instruction pays its fetch even when PC>>6 == 0.
+		fetchBlock: ^uint64(0),
 	}
 }
 
@@ -81,8 +84,10 @@ func (c *coreState) step(h *Hierarchy, core int, ins trace.Instr) {
 	if blk := ins.PC >> 6; blk != c.fetchBlock {
 		c.fetchBlock = blk
 		done := h.AccessInstr(core, ins.PC, issue)
-		if penalty := done - issue - h.cfg.L1ILatency; penalty > 0 {
-			issue += penalty
+		// Guard against unsigned wrap: a fetch merging into an in-flight
+		// miss can complete less than L1ILatency cycles from now.
+		if done > issue+h.cfg.L1ILatency {
+			issue = done - h.cfg.L1ILatency
 		}
 	}
 	// Dependent loads wait for the previous load's data.

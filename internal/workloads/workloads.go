@@ -420,12 +420,18 @@ func TrainingNames() []string {
 // Mixes returns n pseudo-random 4-benchmark mixes over the SPEC suite for
 // the 4-core evaluation (§V-A: 100 random sets of four benchmarks from the
 // 29 applications).
-func Mixes(n int, seed uint64) [][]string {
+func Mixes(n int, seed uint64) [][]string { return MixesN(n, 4, seed) }
+
+// MixesN returns n pseudo-random size-benchmark mixes over the SPEC
+// suite — the N-core generalization the event-engine scaling runs use
+// (8/16-core mixes beyond the paper's 4-core table). MixesN(n, 4, seed)
+// is byte-identical to the historical Mixes(n, seed).
+func MixesN(n, size int, seed uint64) [][]string {
 	names := SPECNames()
 	rng := xrand.New(seed)
 	out := make([][]string, n)
 	for i := range out {
-		mix := make([]string, 4)
+		mix := make([]string, size)
 		for j := range mix {
 			mix[j] = names[rng.Intn(len(names))]
 		}

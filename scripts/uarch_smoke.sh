@@ -1,0 +1,51 @@
+#!/bin/sh
+# uarch_smoke.sh — end-to-end smoke of the event-driven multi-core engine.
+#
+# Exercises the whole chain: `check -pair uarch` runs the legacy-vs-event
+# byte-for-byte differential on a short 429.mcf window over the policy
+# zoo, and `benchjson -uarch -quick` produces the scaling report,
+# validating the emitted JSON:
+#   - the cross-check verdict must be "xcheck_ok": true;
+#   - the report must carry events_per_sec, per_core, and wb_to_dram;
+#   - no field may be NaN.
+set -eu
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+echo "uarch-smoke: building check and benchjson..."
+go build -o "$dir/check" ./cmd/check
+go build -o "$dir/benchjson" ./cmd/benchjson
+
+echo "uarch-smoke: legacy-vs-event differential (429.mcf)..."
+"$dir/check" -pair uarch -class 429.mcf -seeds 2 -n 8000 > "$dir/check.out" || {
+    echo "uarch-smoke: FAIL — event engine diverged from the legacy core loop" >&2
+    cat "$dir/check.out" >&2
+    exit 1
+}
+grep -q "no divergence" "$dir/check.out" || {
+    echo "uarch-smoke: FAIL — differential did not report a clean sweep" >&2
+    cat "$dir/check.out" >&2
+    exit 1
+}
+
+echo "uarch-smoke: event-engine quick benchmark..."
+"$dir/benchjson" -uarch -quick -o "$dir/uarch.json" 2> /dev/null
+
+echo "uarch-smoke: validating BENCH_uarch fields..."
+grep -q '"xcheck_ok": true' "$dir/uarch.json" || {
+    echo "uarch-smoke: FAIL — report has xcheck_ok != true" >&2
+    exit 1
+}
+for field in events_per_sec per_core wb_to_dram geomean_ipc event_over_legacy; do
+    if ! grep -q "\"$field\"" "$dir/uarch.json"; then
+        echo "uarch-smoke: FAIL — report has no $field field" >&2
+        exit 1
+    fi
+done
+if grep -q 'NaN' "$dir/uarch.json"; then
+    echo "uarch-smoke: FAIL — report contains NaN" >&2
+    exit 1
+fi
+
+echo "uarch-smoke: OK"
